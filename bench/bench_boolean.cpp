@@ -1,0 +1,121 @@
+// T4 — Boolean-engine throughput vs. input size (google-benchmark).
+//
+// Measures the scanline engine on orthogonal and all-angle polygon soups of
+// growing size, for OR / AND / XOR, plus the trapezoid and polygon output
+// paths. Complexity is expected near O(n log n) in edges for sparse
+// overlap, degrading toward O(n^2) splitting for pathological all-angle
+// crossing storms (documented engine property, DESIGN.md decision 3).
+#include <benchmark/benchmark.h>
+
+#include "core/patterns.h"
+#include "geom/boolean.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ebl;
+
+PolygonSet manhattan_soup(int n_rects, std::uint64_t seed) {
+  Rng rng(seed);
+  PolygonSet s;
+  // Spread over an area that keeps overlap density roughly constant.
+  const Coord span = static_cast<Coord>(400.0 * std::sqrt(double(n_rects)));
+  for (int i = 0; i < n_rects; ++i) {
+    const Coord w = static_cast<Coord>(rng.uniform(50, 600));
+    const Coord h = static_cast<Coord>(rng.uniform(50, 600));
+    const Coord x = static_cast<Coord>(rng.uniform(0, span));
+    const Coord y = static_cast<Coord>(rng.uniform(0, span));
+    s.insert(Box{x, y, static_cast<Coord>(x + w), static_cast<Coord>(y + h)});
+  }
+  return s;
+}
+
+PolygonSet triangle_soup(int n_tris, std::uint64_t seed) {
+  Rng rng(seed);
+  const Coord span = static_cast<Coord>(400.0 * std::sqrt(double(n_tris)));
+  PolygonSet s;
+  for (int i = 0; i < n_tris; ++i) {
+    const Point a{static_cast<Coord>(rng.uniform(0, span)),
+                  static_cast<Coord>(rng.uniform(0, span))};
+    const Point b = a + Point{static_cast<Coord>(rng.uniform(-400, 400)),
+                              static_cast<Coord>(rng.uniform(-400, 400))};
+    const Point c = a + Point{static_cast<Coord>(rng.uniform(-400, 400)),
+                              static_cast<Coord>(rng.uniform(-400, 400))};
+    if (cross(a, b, c) == 0) continue;
+    s.insert(SimplePolygon{{a, b, c}});
+  }
+  return s;
+}
+
+void add_all(BooleanEngine& eng, const PolygonSet& a, const PolygonSet& b) {
+  for (const Polygon& p : a.polygons()) eng.add(p, 0);
+  for (const Polygon& p : b.polygons()) eng.add(p, 1);
+}
+
+void BM_UnionManhattan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const PolygonSet a = manhattan_soup(n, 1);
+  const PolygonSet b = manhattan_soup(n, 2);
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    BooleanEngine eng;
+    add_all(eng, a, b);
+    benchmark::DoNotOptimize(eng.trapezoids(BoolOp::Or));
+    edges = eng.stats().input_edges;
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_UnionManhattan)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AndManhattan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const PolygonSet a = manhattan_soup(n, 3);
+  const PolygonSet b = manhattan_soup(n, 4);
+  for (auto _ : state) {
+    BooleanEngine eng;
+    add_all(eng, a, b);
+    benchmark::DoNotOptimize(eng.trapezoids(BoolOp::And));
+  }
+}
+BENCHMARK(BM_AndManhattan)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_XorAllAngle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const PolygonSet a = triangle_soup(n, 5);
+  const PolygonSet b = triangle_soup(n, 6);
+  for (auto _ : state) {
+    BooleanEngine eng;
+    add_all(eng, a, b);
+    benchmark::DoNotOptimize(eng.trapezoids(BoolOp::Xor));
+  }
+}
+BENCHMARK(BM_XorAllAngle)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PolygonReconstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const PolygonSet a = manhattan_soup(n, 7);
+  for (auto _ : state) {
+    BooleanEngine eng;
+    for (const Polygon& p : a.polygons()) eng.add(p, 0);
+    benchmark::DoNotOptimize(eng.polygons(BoolOp::Or));
+  }
+}
+BENCHMARK(BM_PolygonReconstruction)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sizing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const PolygonSet a = manhattan_soup(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.sized(25));
+  }
+}
+BENCHMARK(BM_Sizing)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// F6 — Field stitching error vs. field size, with and without calibration.
+//
+// The deflection distortion model has fixed relative coefficients (ppm-scale
+// gain error, small rotation, third-order pincushion); the absolute
+// displacement at the field edge scales with the field size. Expected
+// shape: stitching error grows superlinearly with field size (the cubic
+// term), and affine calibration removes the gain/rotation part, leaving the
+// pincushion residual — a drop of one to two orders of magnitude for small
+// fields, less for large ones where the cubic term dominates.
+#include <iostream>
+
+#include "machine/distortion.h"
+#include "machine/field.h"
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace ebl;
+
+int main() {
+  // Relative machine imperfections (dimensionless, per unit half-field):
+  const double gain_ppm = 150.0;   // 150 ppm deflection gain error
+  const double rot_urad = 80.0;    // 80 µrad axis rotation
+  const double pin_k3 = 2e-16;     // cubic coefficient, nm⁻² (≈25 nm at 1 mm field)
+
+  Table t("F6: max stitching error vs. field size");
+  t.columns({"field (um)", "raw error (nm)", "calibrated (nm)",
+             "calibrated+noise (nm)", "improvement"});
+  CsvWriter csv("bench_f6_stitching.csv");
+  csv.header({"field_um", "raw_nm", "calibrated_nm", "calibrated_noise_nm"});
+
+  for (const double field_um : {100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0}) {
+    const double half = field_um * 1000.0 / 2.0;  // nm
+    DeflectionDistortion d;
+    d.scale_x = gain_ppm * 1e-6 * half;
+    d.scale_y = 0.7 * gain_ppm * 1e-6 * half;
+    d.rotation = rot_urad * 1e-6 * half;
+    d.pincushion = pin_k3 * half * half * half;  // corner displacement, nm
+
+    const double raw = max_stitching_error(d);
+    const double cal = max_stitching_error(calibrate_affine(d, 7, 0.0));
+    const double cal_noise = max_stitching_error(calibrate_affine(d, 7, 2.0, 99));
+    t.row(fixed(field_um, 0), fixed(raw, 2), fixed(cal, 3), fixed(cal_noise, 3),
+          fixed(raw / std::max(cal_noise, 1e-9), 1) + "x");
+    csv.row(field_um, raw, cal, cal_noise);
+  }
+  t.print();
+
+  // Companion table: how many shots land on field boundaries as the field
+  // shrinks (stitching exposure: smaller fields stitch more figures).
+  Rng rng(55);
+  const PolygonSet s =
+      random_manhattan(rng, Box{0, 0, 800000, 800000}, 0.15, 3000, 40000);
+  const ShotList shots = fracture(s).shots;
+  Table t2("F6b: figures cut by field boundaries (800x800um pattern)");
+  t2.columns({"field (um)", "fields", "straddlers", "straddler %"});
+  for (const Coord field : {100000, 200000, 400000, 800000}) {
+    const auto fields = partition_fields(shots, field);
+    const std::size_t straddlers = count_boundary_straddlers(shots, field);
+    t2.row(field / 1000, fields.size(), straddlers,
+           fixed(100.0 * double(straddlers) / double(shots.size()), 1) + "%");
+  }
+  t2.print();
+  std::cout << "\nwrote bench_f6_stitching.csv\n";
+  return 0;
+}

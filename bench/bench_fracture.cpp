@@ -1,0 +1,103 @@
+// T1 + F3 — Fracture statistics and shot-count scaling.
+//
+// T1 (table): figure count, sliver count, runtime per strategy on the three
+// workload families (manhattan soup, all-angle soup, curved zone plate).
+// F3 (figure/series): VSB shot count vs. max shot size, and figure count
+// vs. input vertex count (expected: shots ~ area/aperture² once clamped;
+// figures linear in vertices).
+#include <chrono>
+#include <iostream>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "geom/curves.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace ebl;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+void table_t1() {
+  struct Workload {
+    std::string name;
+    PolygonSet set;
+  };
+  Rng rng(11);
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"manhattan 30%", random_manhattan(rng, Box{0, 0, 200000, 200000}, 0.3, 500, 8000)});
+  workloads.push_back(
+      {"all-angle 20%", random_triangles(rng, Box{0, 0, 150000, 150000}, 0.2, 1000, 9000)});
+  workloads.push_back({"zone plate f=150um", zone_plate({0, 0}, 150000.0, 532.0, 32, 2.0)});
+
+  Table t("T1: fracture statistics by strategy (sliver threshold 50 nm)");
+  t.columns({"workload", "strategy", "figures", "rect", "tri", "slivers", "area um^2",
+             "runtime ms"});
+  for (const auto& w : workloads) {
+    for (const auto strategy : {FractureStrategy::bands, FractureStrategy::merged_traps}) {
+      FractureOptions opt;
+      opt.strategy = strategy;
+      opt.sliver_threshold = 50;
+      const auto t0 = std::chrono::steady_clock::now();
+      const FractureResult r = fracture(w.set, opt);
+      const double ms = ms_since(t0);
+      t.row(w.name, strategy == FractureStrategy::bands ? "bands" : "merged",
+            r.stats.figures, r.stats.rectangles, r.stats.triangles, r.stats.slivers,
+            fixed(r.stats.area / 1e6, 1), fixed(ms, 1));
+    }
+  }
+  t.print();
+}
+
+void figure_f3_shot_size() {
+  Rng rng(12);
+  const PolygonSet s = random_manhattan(rng, Box{0, 0, 200000, 200000}, 0.3, 2000, 30000);
+  Table t("F3a: VSB shot count vs. max shot size (manhattan 30%, 200x200um)");
+  t.columns({"max shot (um)", "shots", "shots/figure", "area um^2"});
+  CsvWriter csv("bench_f3_shot_size.csv");
+  csv.header({"max_shot_nm", "shots", "figures"});
+  for (const Coord aperture : {500, 1000, 2000, 4000, 8000, 16000}) {
+    FractureOptions opt;
+    opt.max_shot_size = aperture;
+    const FractureResult r = fracture(s, opt);
+    t.row(fixed(aperture / 1000.0, 1), r.stats.shots,
+          fixed(double(r.stats.shots) / double(r.stats.figures), 2),
+          fixed(r.stats.area / 1e6, 1));
+    csv.row(aperture, r.stats.shots, r.stats.figures);
+  }
+  t.print();
+}
+
+void figure_f3_vertex_scaling() {
+  Table t("F3b: figure count vs. input vertex count (circle flattening sweep)");
+  t.columns({"vertices", "figures (merged)", "figures/vertex"});
+  CsvWriter csv("bench_f3_vertices.csv");
+  csv.header({"vertices", "figures"});
+  for (const double tol : {64.0, 16.0, 4.0, 1.0, 0.25}) {
+    PolygonSet s;
+    s.insert(circle({0, 0}, 100000, tol));
+    const std::size_t verts = s.vertex_count();
+    const FractureResult r = fracture(s);
+    t.row(verts, r.stats.figures, fixed(double(r.stats.figures) / double(verts), 3));
+    csv.row(verts, r.stats.figures);
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  table_t1();
+  figure_f3_shot_size();
+  figure_f3_vertex_scaling();
+  std::cout << "\nwrote bench_f3_shot_size.csv, bench_f3_vertices.csv\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// F7 — Grayscale transfer: remaining thickness vs. dose, and multi-level
+// staircase fidelity.
+//
+// Expected shape: the thickness-vs-dose transfer follows the resist
+// contrast curve (log-linear between onset and saturation); 4-level and
+// 8-level staircases written by dose modulation land within a few percent
+// of the designed levels, with the largest error at the extreme steps
+// (backscatter pedestal from neighboring steps).
+#include <cmath>
+#include <iostream>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "sim/exposure_sim.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ebl;
+
+namespace {
+
+void transfer_curve(const ContrastResist& resist, const Psf& psf) {
+  // Large isolated pads exposed at swept dose: measured center thickness
+  // vs. the ideal contrast curve.
+  Table t("F7a: grayscale transfer (10um pad, gamma=1, onset 0.4)");
+  t.columns({"dose", "ideal t", "simulated t", "error"});
+  CsvWriter csv("bench_f7_transfer.csv");
+  csv.header({"dose", "ideal", "simulated"});
+  for (const double dose : {0.3, 0.45, 0.6, 0.8, 1.0, 1.4, 2.0, 2.8, 4.0, 5.6}) {
+    ShotList shots{{Trapezoid::rect(Box{0, 0, 10000, 10000}), dose}};
+    const Raster e = simulate_exposure(shots, psf, {.pixel = 100});
+    const Raster relief = develop(e, resist);
+    const double sim_t =
+        profile_along(relief, Point{5000, 5000}, Point{5001, 5000}, 2)[0];
+    const double ideal = resist.thickness(dose);  // bulk: E(center) ~ dose
+    t.row(fixed(dose, 2), fixed(ideal, 3), fixed(sim_t, 3), fixed(sim_t - ideal, 3));
+    csv.row(dose, ideal, sim_t);
+  }
+  t.print();
+}
+
+void staircase_fidelity(const ContrastResist& resist, const Psf& psf, int levels) {
+  const Coord step_w = 2000;
+  const Coord height = 20000;
+  ShotList shots;
+  for (int i = 0; i < levels; ++i) {
+    const double t_target = (i + 1.0) / levels;
+    shots.push_back({Trapezoid::rect(Box{Coord(i * step_w), 0,
+                                         Coord((i + 1) * step_w), height}),
+                     resist.exposure_for_thickness(t_target)});
+  }
+  const Raster e = simulate_exposure(shots, psf, {.pixel = 50});
+  const Raster relief = develop(e, resist);
+
+  Table t("F7b: " + std::to_string(levels) + "-level staircase fidelity");
+  t.columns({"step", "designed t", "achieved t", "error"});
+  double rms = 0.0;
+  for (int i = 0; i < levels; ++i) {
+    const double designed = (i + 1.0) / levels;
+    const Point c{Coord(i * step_w + step_w / 2), height / 2};
+    const double achieved = profile_along(relief, c, c + Point{1, 0}, 2)[0];
+    rms += (achieved - designed) * (achieved - designed);
+    t.row(i + 1, fixed(designed, 3), fixed(achieved, 3), fixed(achieved - designed, 3));
+  }
+  t.print();
+  std::cout << "rms level error: " << fixed(std::sqrt(rms / levels), 4) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const ContrastResist resist(1.0, 0.4);
+  const Psf psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  transfer_curve(resist, psf);
+  staircase_fidelity(resist, psf, 4);
+  staircase_fidelity(resist, psf, 8);
+  std::cout << "\nwrote bench_f7_transfer.csv\n";
+  return 0;
+}

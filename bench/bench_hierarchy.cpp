@@ -1,0 +1,87 @@
+// H1 (extension) — Hierarchical vs. flat data preparation.
+//
+// The 1979 motivation for keeping pattern data hierarchical: an N x N array
+// of a macro costs the flat flow N² fractures worth of work, but the
+// hierarchical flow one fracture plus N² cheap shot transforms. Expected
+// shape: speedup grows with N² at identical shot counts and area.
+#include <chrono>
+#include <iostream>
+
+#include "core/ebl.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ebl;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+Library make_library(std::uint32_t n) {
+  Library lib("H1");
+  Rng rng(77);
+  const CellId macro = lib.add_cell("MACRO");
+  // A realistic macro: ~200 mixed shapes including 45° wedges.
+  for (int i = 0; i < 180; ++i) {
+    const Coord x = static_cast<Coord>(rng.uniform(0, 18000));
+    const Coord y = static_cast<Coord>(rng.uniform(0, 18000));
+    const Coord w = static_cast<Coord>(rng.uniform(100, 1500));
+    const Coord h = static_cast<Coord>(rng.uniform(100, 1500));
+    lib.cell(macro).add_shape(LayerKey{1, 0},
+                              Box{x, y, static_cast<Coord>(x + w), static_cast<Coord>(y + h)});
+  }
+  for (int i = 0; i < 20; ++i) {
+    const Coord x = static_cast<Coord>(rng.uniform(0, 18000));
+    const Coord y = static_cast<Coord>(rng.uniform(0, 18000));
+    const Coord s = static_cast<Coord>(rng.uniform(300, 1200));
+    lib.cell(macro).add_shape(
+        LayerKey{1, 0},
+        SimplePolygon{{{x, y}, {static_cast<Coord>(x + s), y}, {x, static_cast<Coord>(y + s)}}});
+  }
+  const CellId top = lib.add_cell("TOP");
+  Reference r;
+  r.child = macro;
+  r.cols = n;
+  r.rows = n;
+  r.col_step = {20000, 0};
+  r.row_step = {0, 20000};
+  lib.cell(top).add_reference(r);
+  return lib;
+}
+
+}  // namespace
+
+int main() {
+  Table t("H1: hierarchical vs. flat prep (180-rect + 20-triangle macro, NxN array)");
+  t.columns({"array", "flat ms", "hier ms", "speedup", "flat shots", "hier shots"});
+  CsvWriter csv("bench_h1_hierarchy.csv");
+  csv.header({"n", "flat_ms", "hier_ms", "flat_shots", "hier_shots"});
+
+  FractureOptions opt;
+  opt.max_shot_size = 2000;
+
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u}) {
+    const Library lib = make_library(n);
+    const CellId top = *lib.find_cell("TOP");
+
+    auto t0 = std::chrono::steady_clock::now();
+    const FractureResult flat = fracture(lib.flatten(top, LayerKey{1, 0}), opt);
+    const double flat_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const HierPrepResult hier = run_hier_prep(lib, top, LayerKey{1, 0}, opt);
+    const double hier_ms = ms_since(t0);
+
+    t.row(std::to_string(n) + "x" + std::to_string(n), fixed(flat_ms, 1),
+          fixed(hier_ms, 1), fixed(flat_ms / hier_ms, 1) + "x", flat.stats.shots,
+          hier.stats.shots);
+    csv.row(n, flat_ms, hier_ms, flat.stats.shots, hier.stats.shots);
+  }
+  t.print();
+  std::cout << "\nwrote bench_h1_hierarchy.csv\n";
+  return 0;
+}

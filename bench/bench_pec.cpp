@@ -1,0 +1,119 @@
+// F1 + F2 — Proximity effect and its correction.
+//
+// F1 (figure/series): exposure profile across a dense 0.5 µm 1:1 grating
+// next to an isolated 0.5 µm line, uncorrected vs. iterative PEC vs. the
+// cheap density PEC. Expected shape: uncorrected dense interior sits near
+// 1.0 while the isolated line only reaches ~1/(1+eta) = 0.59; after PEC
+// both representative points sit at the target within a few percent.
+// F2 (figure/series): max in-pattern exposure error vs. iteration —
+// geometric decay.
+// Ablation (DESIGN.md decision 4): iterative shape PEC vs. density PEC in
+// accuracy and runtime.
+#include <chrono>
+#include <iostream>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "pec/correction.h"
+#include "sim/exposure_sim.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ebl;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const Coord w = 500;
+  const Coord pitch = 1000;
+  const Coord len = 40000;
+  PolygonSet pattern = line_space_array({0, 0}, w, pitch, len, 21);
+  pattern.insert(Box{40000, 0, 40000 + w, len});  // isolated line
+
+  const Psf psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  const ShotList raw = fracture(pattern).shots;
+
+  // --- Corrections (timed for the ablation). ---
+  PecOptions popt;
+  popt.max_iterations = 10;
+  popt.tolerance = 0.005;
+  auto t0 = std::chrono::steady_clock::now();
+  const PecResult iterative = correct_proximity(raw, psf, popt);
+  const double iterative_ms = ms_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  const PecResult density = density_pec(raw, psf, popt);
+  const double density_ms = ms_since(t0);
+
+  // --- F1: profiles. ---
+  const Raster e_raw = simulate_exposure(raw, psf, {.pixel = 25});
+  const Raster e_it = simulate_exposure(iterative.shots, psf, {.pixel = 25});
+  const Raster e_den = simulate_exposure(density.shots, psf, {.pixel = 25});
+
+  const Point a{-1500, len / 2};
+  const Point b{42500, len / 2};
+  CsvWriter csv("bench_f1_profiles.csv");
+  csv.header({"x_nm", "uncorrected", "iterative_pec", "density_pec"});
+  const auto p0 = profile_along(e_raw, a, b, 1761);
+  const auto p1 = profile_along(e_it, a, b, 1761);
+  const auto p2 = profile_along(e_den, a, b, 1761);
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    const double x = a.x + (double(b.x) - a.x) * double(i) / (p0.size() - 1);
+    csv.row(x, p0[i], p1[i], p2[i]);
+  }
+
+  const auto sample = [&](const Raster& m, Coord x) {
+    return profile_along(m, Point{x, len / 2}, Point{x + 1, len / 2}, 2)[0];
+  };
+  Table f1("F1: exposure at representative points (0.5um lines, eta=0.7)");
+  f1.columns({"case", "dense line center", "dense space center", "iso line center"});
+  f1.row("uncorrected", fixed(sample(e_raw, 10250), 3), fixed(sample(e_raw, 10750), 3),
+         fixed(sample(e_raw, 40250), 3));
+  f1.row("iterative PEC", fixed(sample(e_it, 10250), 3), fixed(sample(e_it, 10750), 3),
+         fixed(sample(e_it, 40250), 3));
+  f1.row("density PEC", fixed(sample(e_den, 10250), 3), fixed(sample(e_den, 10750), 3),
+         fixed(sample(e_den, 40250), 3));
+  f1.print();
+
+  // --- F2: convergence. ---
+  Table f2("F2: iterative PEC convergence (max relative exposure error)");
+  f2.columns({"iteration", "max error"});
+  CsvWriter conv("bench_f2_convergence.csv");
+  conv.header({"iteration", "max_error"});
+  for (std::size_t i = 0; i < iterative.max_error_history.size(); ++i) {
+    f2.row(i, fixed(iterative.max_error_history[i], 4));
+    conv.row(i, iterative.max_error_history[i]);
+  }
+  f2.print();
+
+  // --- Ablation: shape PEC vs density PEC. ---
+  Table ab("Ablation: iterative shape PEC vs. geometry-density PEC");
+  ab.columns({"method", "final max error", "runtime ms"});
+  ab.row("iterative (10 it, tol 0.5%)", fixed(iterative.final_max_error, 4),
+         fixed(iterative_ms, 1));
+  ab.row("density formula (1 pass)", fixed(density.final_max_error, 4),
+         fixed(density_ms, 1));
+  ab.print();
+
+  // Dose-class quantization sweep: how many machine dose classes are enough?
+  Table q("Dose quantization: residual error vs. dose classes");
+  q.columns({"classes", "final max error"});
+  for (const int classes : {2, 4, 8, 16, 32, 0}) {
+    PecOptions o = popt;
+    o.dose_classes = classes;
+    const PecResult r = correct_proximity(raw, psf, o);
+    q.row(classes == 0 ? "continuous" : std::to_string(classes),
+          fixed(r.final_max_error, 4));
+  }
+  q.print();
+
+  std::cout << "\nwrote bench_f1_profiles.csv, bench_f2_convergence.csv\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// T3 — Resist operating points.
+//
+// Table of dose-to-gel (onset), print threshold (t = 0.5), dose-to-full
+// (saturation), and dose latitude ratio for a family of contrast resists,
+// plus the ideal threshold resist. Expected shape: latitude (saturation /
+// onset) = 10^(1/gamma) shrinks monotonically as contrast rises.
+#include <cmath>
+#include <iostream>
+
+#include "sim/resist.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace ebl;
+
+int main() {
+  Table t("T3: resist operating points (exposure relative to unit-dose bulk)");
+  t.columns({"resist", "gamma", "onset E0", "print (t=0.5)", "full E100",
+             "latitude E100/E0"});
+  CsvWriter csv("bench_t3_resists.csv");
+  csv.header({"gamma", "onset", "print", "full", "latitude"});
+
+  for (const double gamma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const ContrastResist r(gamma, 0.4);
+    t.row("contrast", fixed(gamma, 1), fixed(r.onset(), 3), fixed(r.print_threshold(), 3),
+          fixed(r.saturation(), 3), fixed(r.saturation() / r.onset(), 3));
+    csv.row(gamma, r.onset(), r.print_threshold(), r.saturation(),
+            r.saturation() / r.onset());
+  }
+  const ThresholdResist ideal(0.5);
+  t.row("threshold (ideal)", "inf", fixed(0.5, 3), fixed(ideal.print_threshold(), 3),
+        fixed(0.5, 3), fixed(1.0, 3));
+  t.print();
+
+  // Full contrast curves as series.
+  CsvWriter curves("bench_t3_curves.csv");
+  curves.header({"exposure", "t_gamma_0.5", "t_gamma_1", "t_gamma_2", "t_gamma_4"});
+  for (double e = 0.1; e <= 5.0; e *= 1.05) {
+    curves.row(e, ContrastResist(0.5, 0.4).thickness(e),
+               ContrastResist(1.0, 0.4).thickness(e),
+               ContrastResist(2.0, 0.4).thickness(e),
+               ContrastResist(4.0, 0.4).thickness(e));
+  }
+  std::cout << "\nwrote bench_t3_resists.csv, bench_t3_curves.csv\n";
+  return 0;
+}

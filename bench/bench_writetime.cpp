@@ -1,0 +1,112 @@
+// T2 + F5 — Writer comparison and the throughput crossover.
+//
+// T2 (table): write time of one 1 mm field at three pattern densities for
+// raster, vector and VSB machines (with per-component breakdown).
+// F5 (figure/series): write time vs. density 1..80% for the three machines.
+// Expected shape: raster flat (density-independent), vector and VSB rising
+// with density — so the curves CROSS: raster wins dense chips, vector/VSB
+// win sparse ones. VSB sits below vector everywhere the average figure is
+// much larger than the Gaussian pixel.
+#include <iostream>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "machine/ordering.h"
+#include "machine/writer.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace ebl;
+
+namespace {
+
+ShotList make_chip(double density, std::uint64_t seed) {
+  Rng rng(seed);
+  // One 1 mm x 1 mm field of mixed-size features.
+  const PolygonSet s =
+      random_manhattan(rng, Box{0, 0, 1000000, 1000000}, density, 1000, 25000);
+  FractureOptions opt;
+  opt.max_shot_size = 2000;  // 2 µm VSB aperture
+  return fracture(s, opt).shots;
+}
+
+void table_t2() {
+  const RasterScanWriter raster;
+  const VectorScanWriter vector_w;
+  const VsbWriter vsb;
+
+  Table t("T2: write time for one 1x1 mm field (seconds)");
+  t.columns({"density", "machine", "beam", "overhead", "stage", "total"});
+  for (const double density : {0.05, 0.20, 0.50}) {
+    const ShotList shots = make_chip(density, 21);
+    const WriteJob job = make_write_job(shots, Box{0, 0, 1000000, 1000000});
+    for (const WriterModel* m :
+         std::initializer_list<const WriterModel*>{&raster, &vector_w, &vsb}) {
+      const WriteTime wt = m->write_time(job);
+      t.row(fixed(density * 100, 0) + "%", m->name(), fixed(wt.exposure_s, 3),
+            fixed(wt.overhead_s, 3), fixed(wt.stage_s, 3), fixed(wt.total(), 3));
+    }
+  }
+  t.print();
+}
+
+void figure_f5() {
+  const RasterScanWriter raster;
+  const VectorScanWriter vector_w;
+  const VsbWriter vsb;
+
+  Table t("F5: write time vs. pattern density (1x1 mm field, seconds)");
+  t.columns({"density %", "raster", "vector", "vsb"});
+  CsvWriter csv("bench_f5_crossover.csv");
+  csv.header({"density", "raster_s", "vector_s", "vsb_s"});
+  double crossover = -1.0;
+  double prev_gap = 0.0;
+  for (const double density : {0.01, 0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.65, 0.80}) {
+    const ShotList shots = make_chip(density, 33);
+    const WriteJob job = make_write_job(shots, Box{0, 0, 1000000, 1000000});
+    const double tr = raster.write_time(job).total();
+    const double tv = vector_w.write_time(job).total();
+    const double ts = vsb.write_time(job).total();
+    t.row(fixed(density * 100, 0), fixed(tr, 3), fixed(tv, 3), fixed(ts, 3));
+    csv.row(density, tr, tv, ts);
+    const double gap = tv - tr;
+    if (crossover < 0 && prev_gap < 0 && gap > 0) crossover = density;
+    prev_gap = gap;
+  }
+  t.print();
+  if (crossover > 0) {
+    std::cout << "vector/raster crossover near density " << fixed(crossover * 100, 0)
+              << "% — raster wins denser patterns, vector wins sparser ones\n";
+  }
+}
+
+void ordering_ablation() {
+  // Vector-scan deflection travel: fracture order vs. serpentine vs.
+  // greedy nearest-neighbor (1 µs/µm settle, 0.1 µs floor).
+  const ShotList base = make_chip(0.10, 77);
+  ShotList serp = base;
+  order_serpentine(serp, 50000);
+  ShotList nn = base;
+  order_nearest_neighbor(nn);
+
+  Table t("Ablation: vector-scan shot ordering (10% density, 1mm field)");
+  t.columns({"order", "travel (mm)", "settle time (s)"});
+  for (const auto& [name, shots] :
+       std::initializer_list<std::pair<const char*, const ShotList*>>{
+           {"fracture order", &base}, {"serpentine", &serp}, {"nearest-neighbor", &nn}}) {
+    t.row(name, fixed(total_travel(*shots) / 1e6, 2),
+          fixed(deflection_settle_time(*shots, 1e-6, 1e-7), 3));
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  table_t2();
+  figure_f5();
+  ordering_ablation();
+  std::cout << "\nwrote bench_f5_crossover.csv\n";
+  return 0;
+}

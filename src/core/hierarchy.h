@@ -1,0 +1,45 @@
+// Hierarchical data preparation.
+//
+// Flattening an arrayed layout multiplies the fracture work by the instance
+// count. The 1979-era answer (and still BEAMER's) is to fracture each cell
+// ONCE and replicate the resulting shots under the instance transforms.
+// This module implements that cell-cached prep for orthogonal instance
+// transforms (the overwhelmingly common case); instances with arbitrary
+// rotation or magnification fall back to per-instance flattening.
+//
+// Limitation (documented): per-shot PEC doses depend on the *global*
+// neighborhood, so hierarchical prep emits unit doses; run
+// correct_proximity() on the flat result afterwards when PEC is needed.
+#pragma once
+
+#include "fracture/fracture.h"
+#include "layout/library.h"
+
+namespace ebl {
+
+struct HierPrepStats {
+  std::size_t cells_fractured = 0;   ///< distinct (cell, orientation-class) fractures
+  std::size_t instances = 0;         ///< expanded instances visited
+  std::size_t fallback_instances = 0;///< non-orthogonal instances re-fractured
+  std::size_t shots = 0;
+  double area = 0.0;                 ///< dbu²
+};
+
+struct HierPrepResult {
+  ShotList shots;
+  HierPrepStats stats;
+};
+
+/// Fractures @p layer under @p top cell-by-cell with per-cell caching and
+/// instances the shots. Geometrically equivalent to
+/// fracture(lib.flatten(top, layer)) up to cell-boundary merging: shapes
+/// that ABUT ACROSS cell boundaries are not merged (each cell fractures its
+/// own geometry), which is the standard hierarchical-prep trade-off.
+HierPrepResult run_hier_prep(const Library& lib, CellId top, LayerKey layer,
+                             const FractureOptions& options = {});
+
+/// Transforms a trapezoid by an orthogonal transform whose orientation does
+/// not swap the x/y axes (r0, r180, m0, m180). Exposed for testing.
+Trapezoid transform_trapezoid_noswap(const Trapezoid& t, const Trans& trans);
+
+}  // namespace ebl

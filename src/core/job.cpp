@@ -1,0 +1,69 @@
+#include "core/job.h"
+
+#include <algorithm>
+
+#include "pec/exposure.h"
+#include "util/contracts.h"
+
+namespace ebl {
+
+const WriteTime& PrepResult::time_for(const std::string& machine) const {
+  for (const MachineEstimate& e : estimates) {
+    if (e.machine == machine) return e.time;
+  }
+  throw ContractViolation("no estimate for machine " + machine);
+}
+
+PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options) {
+  expects(!geometry.empty(), "run_data_prep: empty geometry");
+
+  PrepResult result;
+
+  // 1. Fracture the merged region into machine figures.
+  FractureResult frac = fracture(geometry, options.fracture);
+  result.fracture = frac.stats;
+  result.shots = std::move(frac.shots);
+
+  // 2. Proximity-effect correction (optional).
+  if (options.pec_psf) {
+    {
+      ExposureEvaluator eval(result.shots, *options.pec_psf, options.pec.exposure);
+      double uncorrected = 0.0;
+      for (double e : eval.exposures_at_centroids())
+        uncorrected = std::max(uncorrected, std::abs(e / options.pec.target - 1.0));
+      result.pec_uncorrected_error = uncorrected;
+    }
+    PecResult pec = correct_proximity(result.shots, *options.pec_psf, options.pec);
+    result.shots = std::move(pec.shots);
+    result.pec_final_error = pec.final_max_error;
+    result.pec_iterations = pec.iterations;
+  }
+
+  // 3. Field partitioning (optional).
+  if (options.field_size > 0) {
+    result.boundary_straddlers = count_boundary_straddlers(result.shots, options.field_size);
+    result.fields = partition_fields(result.shots, options.field_size);
+    // Field clipping may split shots; the flat shot list follows the fields
+    // so downstream consumers see exactly what the machine will flash.
+    ShotList flat;
+    for (const FieldJob& f : result.fields)
+      flat.insert(flat.end(), f.shots.begin(), f.shots.end());
+    result.shots = std::move(flat);
+  }
+
+  // 4. Write-time estimates on all machine models.
+  const WriteJob job = make_write_job(result.shots);
+  result.estimates.push_back({"raster", RasterScanWriter(options.raster).write_time(job)});
+  result.estimates.push_back(
+      {"vector", VectorScanWriter(options.vector_scan).write_time(job)});
+  result.estimates.push_back({"vsb", VsbWriter(options.vsb).write_time(job)});
+  return result;
+}
+
+PrepResult run_data_prep(const Library& lib, CellId top, LayerKey layer,
+                         const PrepOptions& options) {
+  lib.validate();
+  return run_data_prep(lib.flatten(top, layer), options);
+}
+
+}  // namespace ebl

@@ -1,0 +1,65 @@
+// The end-to-end data-preparation pipeline:
+//   layout geometry -> merge/booleans -> fracture -> (PEC) -> field
+//   partition -> shot records + write-time estimates.
+// This is the top-level API a downstream user drives; each stage is also
+// available individually through the per-module headers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fracture/fracture.h"
+#include "layout/library.h"
+#include "machine/field.h"
+#include "machine/writer.h"
+#include "pec/correction.h"
+
+namespace ebl {
+
+struct PrepOptions {
+  FractureOptions fracture;
+
+  /// Proximity correction: when set, the iterative corrector runs with this
+  /// PSF after fracturing.
+  std::optional<Psf> pec_psf;
+  PecOptions pec;
+
+  /// When > 0, shots are partitioned into exposure fields of this size.
+  Coord field_size = 0;
+
+  /// Machine models to estimate write time for (all three by default).
+  RasterScanParams raster;
+  VectorScanParams vector_scan;
+  VsbParams vsb;
+};
+
+struct MachineEstimate {
+  std::string machine;
+  WriteTime time;
+};
+
+struct PrepResult {
+  ShotList shots;                   ///< final dosed shots (all fields)
+  FractureStats fracture;
+  std::vector<FieldJob> fields;     ///< empty when field_size == 0
+  std::size_t boundary_straddlers = 0;
+
+  /// PEC summary (present when pec_psf was set).
+  std::optional<double> pec_final_error;
+  std::optional<double> pec_uncorrected_error;
+  int pec_iterations = 0;
+
+  std::vector<MachineEstimate> estimates;
+
+  const WriteTime& time_for(const std::string& machine) const;
+};
+
+/// Runs the pipeline on explicit geometry.
+PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options = {});
+
+/// Runs the pipeline on one layer of a hierarchical layout (flattens first).
+PrepResult run_data_prep(const Library& lib, CellId top, LayerKey layer,
+                         const PrepOptions& options = {});
+
+}  // namespace ebl

@@ -1,0 +1,138 @@
+#include "core/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/curves.h"
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+Coord log_uniform(Rng& rng, Coord lo, Coord hi) {
+  const double v = std::exp(rng.uniform_real(std::log(double(lo)), std::log(double(hi))));
+  return std::clamp(static_cast<Coord>(std::lround(v)), lo, hi);
+}
+
+}  // namespace
+
+PolygonSet random_manhattan(Rng& rng, const Box& frame, double density, Coord min_size,
+                            Coord max_size) {
+  expects(!frame.empty(), "random_manhattan: empty frame");
+  expects(density > 0 && density <= 1.0, "random_manhattan: density in (0,1]");
+  expects(min_size > 0 && max_size >= min_size, "random_manhattan: bad sizes");
+  const double target = density * static_cast<double>(frame.area());
+  PolygonSet out;
+  double placed = 0.0;
+  while (placed < target) {
+    const Coord w = log_uniform(rng, min_size, max_size);
+    const Coord h = log_uniform(rng, min_size, max_size);
+    const Coord x = static_cast<Coord>(rng.uniform(frame.lo.x, frame.hi.x - w));
+    const Coord y = static_cast<Coord>(rng.uniform(frame.lo.y, frame.hi.y - h));
+    out.insert(Box{x, y, static_cast<Coord>(x + w), static_cast<Coord>(y + h)});
+    placed += static_cast<double>(w) * h;
+  }
+  return out;
+}
+
+PolygonSet random_triangles(Rng& rng, const Box& frame, double density, Coord min_size,
+                            Coord max_size) {
+  expects(!frame.empty(), "random_triangles: empty frame");
+  expects(density > 0 && density <= 1.0, "random_triangles: density in (0,1]");
+  const double target = density * static_cast<double>(frame.area());
+  PolygonSet out;
+  double placed = 0.0;
+  while (placed < target) {
+    const Coord s = log_uniform(rng, min_size, max_size);
+    const Coord x = static_cast<Coord>(rng.uniform(frame.lo.x, frame.hi.x - s));
+    const Coord y = static_cast<Coord>(rng.uniform(frame.lo.y, frame.hi.y - s));
+    const Point a{x, y};
+    const Point b = a + Point{static_cast<Coord>(rng.uniform(1, s)),
+                              static_cast<Coord>(rng.uniform(0, s))};
+    const Point c = a + Point{static_cast<Coord>(rng.uniform(0, s)),
+                              static_cast<Coord>(rng.uniform(1, s))};
+    if (cross(a, b, c) == 0) continue;
+    const SimplePolygon tri{{a, b, c}};
+    placed += tri.area();
+    out.insert(tri);
+  }
+  return out;
+}
+
+PolygonSet line_space_array(Point origin, Coord width, Coord pitch, Coord length,
+                            int count) {
+  expects(width > 0 && pitch >= width && length > 0 && count > 0,
+          "line_space_array: bad parameters");
+  PolygonSet out;
+  for (int i = 0; i < count; ++i) {
+    const Coord x = static_cast<Coord>(origin.x + Coord64(i) * pitch);
+    out.insert(Box{x, origin.y, static_cast<Coord>(x + width),
+                   static_cast<Coord>(origin.y + length)});
+  }
+  return out;
+}
+
+PolygonSet staircase(Point origin, Coord step_w, Coord step_h, int levels) {
+  expects(step_w > 0 && step_h > 0 && levels > 0, "staircase: bad parameters");
+  PolygonSet out;
+  // A staircase profile: step i spans full height below level i.
+  for (int i = 0; i < levels; ++i) {
+    const Coord x = static_cast<Coord>(origin.x + Coord64(i) * step_w);
+    out.insert(Box{x, origin.y, static_cast<Coord>(x + step_w),
+                   static_cast<Coord>(origin.y + Coord64(i + 1) * step_h)});
+  }
+  return out;
+}
+
+PolygonSet zone_plate(Point center, double focal_length, double wavelength, int zones,
+                      double tolerance) {
+  expects(focal_length > 0 && wavelength > 0 && zones > 0, "zone_plate: bad parameters");
+  PolygonSet out;
+  const auto radius = [&](int n) {
+    return std::sqrt(n * wavelength * focal_length +
+                     0.25 * n * n * wavelength * wavelength);
+  };
+  for (int z = 0; z < zones; ++z) {
+    // Opaque zones: n = 2z+1 .. 2z+2 (odd-to-even annuli).
+    const auto r_in = static_cast<Coord>(std::lround(radius(2 * z + 1)));
+    const auto r_out = static_cast<Coord>(std::lround(radius(2 * z + 2)));
+    if (r_out <= r_in) continue;
+    out.insert(ring(center, r_in, r_out, tolerance));
+  }
+  return out;
+}
+
+PolygonSet checkerboard(const Box& frame, Coord cell) {
+  expects(!frame.empty() && cell > 0, "checkerboard: bad parameters");
+  PolygonSet out;
+  for (Coord64 y = frame.lo.y; y < frame.hi.y; y += cell) {
+    for (Coord64 x = frame.lo.x; x < frame.hi.x; x += cell) {
+      const bool odd = (((x - frame.lo.x) / cell) + ((y - frame.lo.y) / cell)) % 2;
+      if (odd) continue;
+      out.insert(Box{static_cast<Coord>(x), static_cast<Coord>(y),
+                     static_cast<Coord>(std::min<Coord64>(x + cell, frame.hi.x)),
+                     static_cast<Coord>(std::min<Coord64>(y + cell, frame.hi.y))});
+    }
+  }
+  return out;
+}
+
+PolygonSet comb(Point origin, Coord finger_w, Coord finger_gap, Coord finger_len,
+                int fingers) {
+  expects(finger_w > 0 && finger_gap > 0 && finger_len > 0 && fingers > 0,
+          "comb: bad parameters");
+  PolygonSet out;
+  const Coord pitch = static_cast<Coord>(finger_w + finger_gap);
+  // Spine.
+  out.insert(Box{origin.x, origin.y,
+                 static_cast<Coord>(origin.x + Coord64(fingers) * pitch),
+                 static_cast<Coord>(origin.y + finger_w)});
+  for (int i = 0; i < fingers; ++i) {
+    const Coord x = static_cast<Coord>(origin.x + Coord64(i) * pitch);
+    out.insert(Box{x, origin.y, static_cast<Coord>(x + finger_w),
+                   static_cast<Coord>(origin.y + finger_w + finger_len)});
+  }
+  return out;
+}
+
+}  // namespace ebl

@@ -1,0 +1,47 @@
+// Deterministic workload generators.
+//
+// Substitutes for the authors' benchmark layouts: each generator exposes the
+// controlled parameter the experiments sweep (density, vertex count, pitch,
+// zone count) and is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/polygon_set.h"
+#include "util/rng.h"
+
+namespace ebl {
+
+/// Random axis-parallel rectangles in @p frame with total target density
+/// (fraction of frame area, before merging). Sizes are log-uniform between
+/// @p min_size and @p max_size dbu.
+PolygonSet random_manhattan(Rng& rng, const Box& frame, double density,
+                            Coord min_size, Coord max_size);
+
+/// Random triangles (all-angle soup), same density convention.
+PolygonSet random_triangles(Rng& rng, const Box& frame, double density,
+                            Coord min_size, Coord max_size);
+
+/// count vertical lines of @p width at @p pitch, of length @p length,
+/// starting at @p origin (a 1:1 line/space grating when width = pitch/2).
+PolygonSet line_space_array(Point origin, Coord width, Coord pitch, Coord length,
+                            int count);
+
+/// Staircase of @p levels steps, each @p step_w wide and @p step_h tall
+/// (the grayscale test structure).
+PolygonSet staircase(Point origin, Coord step_w, Coord step_h, int levels);
+
+/// Fresnel zone plate: opaque (exposed) even zones. Zone radii
+/// r_n = sqrt(n * lambda * f + (n lambda / 2)^2), n = 1 .. 2*zones.
+/// All lengths in dbu.
+PolygonSet zone_plate(Point center, double focal_length, double wavelength,
+                      int zones, double tolerance = 2.0);
+
+/// Checkerboard of @p cell-sized squares covering @p frame (density 50%).
+PolygonSet checkerboard(const Box& frame, Coord cell);
+
+/// A comb/serpentine test macro (dense long features, fracture stress).
+PolygonSet comb(Point origin, Coord finger_w, Coord finger_gap, Coord finger_len,
+                int fingers);
+
+}  // namespace ebl

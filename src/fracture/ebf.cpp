@@ -1,0 +1,78 @@
+#include "fracture/ebf.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace ebl {
+
+void write_ebf(const EbfFile& file, std::ostream& os) {
+  os << "EBF1\n";
+  os << "units nm\n";
+  if (file.field) {
+    os << "field " << file.field->width() << ' ' << file.field->height() << '\n';
+  }
+  os.precision(12);
+  for (const Shot& s : file.shots) {
+    const Trapezoid& t = s.shape;
+    os << "shot " << t.y0 << ' ' << t.y1 << ' ' << t.xl0 << ' ' << t.xr0 << ' '
+       << t.xl1 << ' ' << t.xr1 << ' ' << s.dose << '\n';
+  }
+  os << "end\n";
+}
+
+void write_ebf(const EbfFile& file, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw DataError("cannot open for writing: " + path);
+  write_ebf(file, os);
+  if (!os) throw DataError("write failed: " + path);
+}
+
+EbfFile read_ebf(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "EBF1") throw DataError("EBF: bad magic");
+  EbfFile file;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "units") {
+      std::string u;
+      ls >> u;
+      if (u != "nm") throw DataError("EBF: unsupported units " + u);
+    } else if (kw == "field") {
+      Coord64 w = 0;
+      Coord64 h = 0;
+      if (!(ls >> w >> h) || w <= 0 || h <= 0) throw DataError("EBF: bad field line");
+      file.field = Box{0, 0, static_cast<Coord>(w), static_cast<Coord>(h)};
+    } else if (kw == "shot") {
+      Trapezoid t;
+      double dose = 1.0;
+      if (!(ls >> t.y0 >> t.y1 >> t.xl0 >> t.xr0 >> t.xl1 >> t.xr1 >> dose))
+        throw DataError("EBF: bad shot line: " + line);
+      if (!t.valid()) throw DataError("EBF: invalid shot geometry: " + line);
+      if (dose < 0) throw DataError("EBF: negative dose");
+      file.shots.push_back(Shot{t, dose});
+    } else if (kw == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw DataError("EBF: unknown keyword " + kw);
+    }
+  }
+  if (!saw_end) throw DataError("EBF: missing end marker");
+  return file;
+}
+
+EbfFile read_ebf(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw DataError("cannot open for reading: " + path);
+  return read_ebf(is);
+}
+
+}  // namespace ebl

@@ -1,0 +1,37 @@
+// EBF — a documented, minimal shot-record exchange format.
+//
+// Substitute for the proprietary pattern-generator tape formats of the era
+// (MEBES, EL-1): the information content is identical — a flat list of
+// trapezoid flashes with relative dose, plus the field size header.
+//
+// Format (text, line oriented):
+//   EBF1
+//   units nm
+//   field <width> <height>          # optional, dbu
+//   shot <y0> <y1> <xl0> <xr0> <xl1> <xr1> <dose>
+//   ...
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "fracture/shot.h"
+#include "geom/box.h"
+
+namespace ebl {
+
+struct EbfFile {
+  std::optional<Box> field;  ///< exposure field frame, if recorded
+  ShotList shots;
+};
+
+void write_ebf(const EbfFile& file, std::ostream& os);
+void write_ebf(const EbfFile& file, const std::string& path);
+
+/// Throws DataError on malformed input.
+EbfFile read_ebf(std::istream& is);
+EbfFile read_ebf(const std::string& path);
+
+}  // namespace ebl

@@ -1,0 +1,32 @@
+// Machine shots: the primitive an e-beam pattern generator exposes.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "geom/trapezoid.h"
+
+namespace ebl {
+
+/// One exposure figure with its relative dose (1.0 = nominal base dose).
+/// Raster machines ignore per-shot dose granularity; vector and VSB
+/// machines apply it per flash (this is where PEC output lands).
+struct Shot {
+  Trapezoid shape;
+  double dose = 1.0;
+
+  friend bool operator==(const Shot&, const Shot&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Shot& s) {
+    return os << s.shape << " dose " << s.dose;
+  }
+};
+
+using ShotList = std::vector<Shot>;
+
+/// Total exposed area of a shot list in dbu².
+double shot_area(const ShotList& shots);
+
+/// Dose-weighted area (proportional to total delivered charge).
+double shot_charge_area(const ShotList& shots);
+
+}  // namespace ebl

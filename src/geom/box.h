@@ -1,0 +1,96 @@
+// Axis-aligned bounding box with an explicit empty state.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "geom/point.h"
+
+namespace ebl {
+
+/// Closed axis-aligned rectangle [lo.x,hi.x] × [lo.y,hi.y].
+/// Default-constructed boxes are empty; operator+= grows to enclose.
+struct Box {
+  Point lo{std::numeric_limits<Coord>::max(), std::numeric_limits<Coord>::max()};
+  Point hi{std::numeric_limits<Coord>::min(), std::numeric_limits<Coord>::min()};
+
+  constexpr Box() = default;
+  constexpr Box(Point a, Point b)
+      : lo{std::min(a.x, b.x), std::min(a.y, b.y)},
+        hi{std::max(a.x, b.x), std::max(a.y, b.y)} {}
+  constexpr Box(Coord x0, Coord y0, Coord x1, Coord y1) : Box(Point{x0, y0}, Point{x1, y1}) {}
+
+  constexpr bool empty() const { return lo.x > hi.x || lo.y > hi.y; }
+  constexpr Coord64 width() const { return empty() ? 0 : Coord64(hi.x) - lo.x; }
+  constexpr Coord64 height() const { return empty() ? 0 : Coord64(hi.y) - lo.y; }
+  constexpr Wide area() const { return Wide(width()) * height(); }
+  constexpr Point center() const {
+    return {static_cast<Coord>((Coord64(lo.x) + hi.x) / 2),
+            static_cast<Coord>((Coord64(lo.y) + hi.y) / 2)};
+  }
+
+  /// Grows to enclose @p p.
+  constexpr Box& operator+=(Point p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    return *this;
+  }
+
+  /// Grows to enclose @p other.
+  constexpr Box& operator+=(const Box& other) {
+    if (other.empty()) return *this;
+    *this += other.lo;
+    *this += other.hi;
+    return *this;
+  }
+
+  constexpr bool contains(Point p) const {
+    return !empty() && p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  constexpr bool contains(const Box& b) const {
+    return !b.empty() && contains(b.lo) && contains(b.hi);
+  }
+
+  /// True when the closed boxes share at least one point.
+  constexpr bool touches(const Box& b) const {
+    return !empty() && !b.empty() && lo.x <= b.hi.x && b.lo.x <= hi.x &&
+           lo.y <= b.hi.y && b.lo.y <= hi.y;
+  }
+
+  /// Intersection; empty box when disjoint.
+  constexpr Box operator&(const Box& b) const {
+    if (!touches(b)) return Box{};
+    Box r;
+    r.lo = {std::max(lo.x, b.lo.x), std::max(lo.y, b.lo.y)};
+    r.hi = {std::min(hi.x, b.hi.x), std::min(hi.y, b.hi.y)};
+    return r;
+  }
+
+  /// Box grown by @p margin on all sides (clamped to coordinate range).
+  constexpr Box bloated(Coord margin) const {
+    if (empty()) return *this;
+    Box r = *this;
+    r.lo.x = static_cast<Coord>(std::max<Coord64>(Coord64(lo.x) - margin,
+                                                  std::numeric_limits<Coord>::min()));
+    r.lo.y = static_cast<Coord>(std::max<Coord64>(Coord64(lo.y) - margin,
+                                                  std::numeric_limits<Coord>::min()));
+    r.hi.x = static_cast<Coord>(std::min<Coord64>(Coord64(hi.x) + margin,
+                                                  std::numeric_limits<Coord>::max()));
+    r.hi.y = static_cast<Coord>(std::min<Coord64>(Coord64(hi.y) + margin,
+                                                  std::numeric_limits<Coord>::max()));
+    return r;
+  }
+
+  friend constexpr bool operator==(const Box&, const Box&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    if (b.empty()) return os << "[empty]";
+    return os << '[' << b.lo << ".." << b.hi << ']';
+  }
+};
+
+}  // namespace ebl

@@ -1,0 +1,38 @@
+// Coordinate types for the integer geometry kernel.
+//
+// All layout geometry lives on an integer database grid (GDSII convention,
+// typically 1 dbu = 1 nm). Coordinates are 32-bit; differences and doubled
+// areas need 64 bits; cross products of 64-bit differences need 128 bits.
+// Using exact integer arithmetic everywhere makes the boolean/fracture
+// engines robust — there is no epsilon tuning anywhere in the kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace ebl {
+
+/// Database-unit coordinate (signed 32-bit, GDSII compatible).
+using Coord = std::int32_t;
+
+/// 64-bit intermediate for coordinate differences and products.
+using Coord64 = std::int64_t;
+
+/// 128-bit intermediate for cross products of 64-bit values.
+using Wide = __int128;
+
+/// Doubled polygon areas (shoelace sums) in dbu².
+using Area2 = Wide;
+
+/// Database units per micron used throughout examples/benches (1 dbu = 1 nm).
+inline constexpr double kDbuPerMicron = 1000.0;
+
+/// Converts microns to database units (rounds to nearest).
+constexpr Coord dbu(double microns) {
+  const double v = microns * kDbuPerMicron;
+  return static_cast<Coord>(v >= 0 ? v + 0.5 : v - 0.5);
+}
+
+/// Converts database units to microns.
+constexpr double microns(Coord64 c) { return static_cast<double>(c) / kDbuPerMicron; }
+
+}  // namespace ebl

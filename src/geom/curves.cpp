@@ -1,0 +1,78 @@
+#include "geom/curves.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+Point on_circle(Point c, double r, double angle) {
+  return {static_cast<Coord>(c.x + std::lround(r * std::cos(angle))),
+          static_cast<Coord>(c.y + std::lround(r * std::sin(angle)))};
+}
+
+}  // namespace
+
+int circle_segments(double radius, double tolerance) {
+  expects(radius > 0, "circle_segments: radius must be positive");
+  expects(tolerance > 0, "circle_segments: tolerance must be positive");
+  if (tolerance >= radius) return 8;
+  const double theta = 2.0 * std::acos(1.0 - tolerance / radius);
+  const int n = static_cast<int>(std::ceil(2.0 * std::numbers::pi / theta));
+  return std::max(n, 8);
+}
+
+SimplePolygon circle(Point center, Coord radius, double tolerance) {
+  expects(radius > 0, "circle: radius must be positive");
+  const int n = circle_segments(radius, tolerance);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * std::numbers::pi * i / n;
+    pts.push_back(on_circle(center, radius, a));
+  }
+  return SimplePolygon{std::move(pts)}.normalized();
+}
+
+Polygon ring(Point center, Coord r_in, Coord r_out, double tolerance) {
+  expects(r_in > 0 && r_out > r_in, "ring: requires 0 < r_in < r_out");
+  SimplePolygon outer = circle(center, r_out, tolerance);
+  SimplePolygon inner = circle(center, r_in, tolerance);
+  return Polygon{std::move(outer), {inner.reversed()}};
+}
+
+SimplePolygon ring_sector(Point center, Coord r_in, Coord r_out, double a0, double a1,
+                          double tolerance) {
+  expects(r_out > 0 && r_in >= 0 && r_out > r_in, "ring_sector: bad radii");
+  expects(a1 > a0 && a1 - a0 <= 2.0 * std::numbers::pi + 1e-12, "ring_sector: bad angles");
+  const int n_full = circle_segments(r_out, tolerance);
+  const int n = std::max(2, static_cast<int>(std::ceil(n_full * (a1 - a0) /
+                                                       (2.0 * std::numbers::pi))));
+  std::vector<Point> pts;
+  // Outer arc CCW.
+  for (int i = 0; i <= n; ++i)
+    pts.push_back(on_circle(center, r_out, a0 + (a1 - a0) * i / n));
+  if (r_in > 0) {
+    // Inner arc back (CW in angle).
+    for (int i = n; i >= 0; --i)
+      pts.push_back(on_circle(center, r_in, a0 + (a1 - a0) * i / n));
+  } else {
+    pts.push_back(center);
+  }
+  return SimplePolygon{std::move(pts)}.normalized();
+}
+
+SimplePolygon regular_polygon(Point center, Coord radius, int n, double phase) {
+  expects(n >= 3, "regular_polygon: n >= 3");
+  expects(radius > 0, "regular_polygon: radius must be positive");
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back(on_circle(center, radius, phase + 2.0 * std::numbers::pi * i / n));
+  return SimplePolygon{std::move(pts)}.normalized();
+}
+
+}  // namespace ebl

@@ -1,0 +1,33 @@
+// Flattening of curved shapes to grid polygons.
+//
+// E-beam layouts contain circles, rings (Fresnel-zone-plate zones!), and arc
+// sectors; machines only understand polygons/trapezoids, so curves are
+// flattened with a sagitta (chord deviation) tolerance.
+#pragma once
+
+#include "geom/polygon.h"
+
+namespace ebl {
+
+/// Number of chord segments needed so a circle of @p radius dbu deviates
+/// from its chords by at most @p tolerance dbu. At least 8.
+int circle_segments(double radius, double tolerance);
+
+/// Closed CCW polygon approximating a circle.
+/// @p tolerance is the maximum chord sagitta in dbu.
+SimplePolygon circle(Point center, Coord radius, double tolerance = 1.0);
+
+/// Annulus (ring) r_in < r_out as a polygon with a hole.
+/// Precondition: 0 < r_in < r_out.
+Polygon ring(Point center, Coord r_in, Coord r_out, double tolerance = 1.0);
+
+/// Pie/arc sector of the annulus between angles a0 and a1 (radians, CCW,
+/// a1 > a0, a1 - a0 <= 2*pi). r_in may be 0 (pie slice).
+SimplePolygon ring_sector(Point center, Coord r_in, Coord r_out, double a0, double a1,
+                          double tolerance = 1.0);
+
+/// Regular n-gon inscribed in the circle of @p radius (vertex at angle
+/// @p phase).
+SimplePolygon regular_polygon(Point center, Coord radius, int n, double phase = 0.0);
+
+}  // namespace ebl

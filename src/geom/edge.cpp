@@ -1,0 +1,89 @@
+#include "geom/edge.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+// Projects collinear point p onto the parameter axis of e (the dominant
+// coordinate), so collinear overlap reduces to 1-D interval arithmetic.
+Coord64 axis_value(const Edge& e, Point p) {
+  const bool use_x = std::abs(Coord64(e.b.x) - e.a.x) >= std::abs(Coord64(e.b.y) - e.a.y);
+  return use_x ? p.x : p.y;
+}
+
+}  // namespace
+
+SegCross classify_intersection(const Edge& e, const Edge& f) {
+  if (!e.bbox().touches(f.bbox())) return SegCross::none;
+
+  const int d1 = e.side_of(f.a);
+  const int d2 = e.side_of(f.b);
+  const int d3 = f.side_of(e.a);
+  const int d4 = f.side_of(e.b);
+
+  if (d1 == 0 && d2 == 0) {
+    // Collinear. Order both on the dominant axis of e.
+    Coord64 e0 = axis_value(e, e.a), e1 = axis_value(e, e.b);
+    Coord64 f0 = axis_value(e, f.a), f1 = axis_value(e, f.b);
+    if (e0 > e1) std::swap(e0, e1);
+    if (f0 > f1) std::swap(f0, f1);
+    const Coord64 lo = std::max(e0, f0);
+    const Coord64 hi = std::min(e1, f1);
+    if (lo > hi) return SegCross::none;
+    if (lo == hi) return SegCross::touch;
+    return SegCross::overlap;
+  }
+
+  if (d1 * d2 < 0 && d3 * d4 < 0) return SegCross::proper;
+
+  // Touch: an endpoint of one lies on the other (closed segments).
+  if ((d1 == 0 && e.contains(f.a)) || (d2 == 0 && e.contains(f.b)) ||
+      (d3 == 0 && f.contains(e.a)) || (d4 == 0 && f.contains(e.b)))
+    return SegCross::touch;
+
+  return SegCross::none;
+}
+
+Point intersection_point(const Edge& e, const Edge& f) {
+  // Solve e.a + t * (e.b - e.a) = f.a + u * (f.b - f.a) with exact integers,
+  // then round the rational result to the nearest grid point.
+  const Coord64 rx = Coord64(e.b.x) - e.a.x;
+  const Coord64 ry = Coord64(e.b.y) - e.a.y;
+  const Coord64 sx = Coord64(f.b.x) - f.a.x;
+  const Coord64 sy = Coord64(f.b.y) - f.a.y;
+  const Wide denom = Wide(rx) * sy - Wide(ry) * sx;
+  expects(denom != 0, "intersection_point on parallel segments");
+
+  const Coord64 qpx = Coord64(f.a.x) - e.a.x;
+  const Coord64 qpy = Coord64(f.a.y) - e.a.y;
+  const Wide t_num = Wide(qpx) * sy - Wide(qpy) * sx;
+
+  // x = e.a.x + t*rx with t = t_num/denom — round to nearest, ties away from 0.
+  auto round_div = [](Wide num, Wide den) -> Coord64 {
+    if (den < 0) { num = -num; den = -den; }
+    const Wide half = den / 2;
+    if (num >= 0) return static_cast<Coord64>((num + half) / den);
+    return static_cast<Coord64>(-(((-num) + half) / den));
+  };
+
+  const Coord64 x = e.a.x + round_div(t_num * rx, denom);
+  const Coord64 y = e.a.y + round_div(t_num * ry, denom);
+  return {static_cast<Coord>(x), static_cast<Coord>(y)};
+}
+
+std::pair<Point, Point> overlap_span(const Edge& e, const Edge& f) {
+  Point pts[4] = {e.a, e.b, f.a, f.b};
+  // Sort along the dominant axis of e; the middle two bound the overlap.
+  std::sort(pts, pts + 4, [&](Point a, Point b) {
+    const Coord64 va = axis_value(e, a);
+    const Coord64 vb = axis_value(e, b);
+    if (va != vb) return va < vb;
+    return a < b;
+  });
+  return {pts[1], pts[2]};
+}
+
+}  // namespace ebl

@@ -1,0 +1,64 @@
+// Directed line segments with exact intersection predicates.
+#pragma once
+
+#include <optional>
+#include <ostream>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace ebl {
+
+/// Directed segment from a to b.
+struct Edge {
+  Point a;
+  Point b;
+
+  constexpr Edge() = default;
+  constexpr Edge(Point pa, Point pb) : a(pa), b(pb) {}
+
+  constexpr bool degenerate() const { return a == b; }
+  constexpr bool horizontal() const { return a.y == b.y; }
+  constexpr bool vertical() const { return a.x == b.x; }
+  constexpr Edge reversed() const { return {b, a}; }
+  constexpr Box bbox() const { return Box{a, b}; }
+
+  /// Exact side test: >0 when p is left of the directed edge, <0 right,
+  /// 0 collinear.
+  constexpr int side_of(Point p) const { return sign(cross(a, b, p)); }
+
+  /// True when p lies on the closed segment.
+  constexpr bool contains(Point p) const {
+    if (side_of(p) != 0) return false;
+    return bbox().contains(p);
+  }
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Edge& e) {
+    return os << e.a << "->" << e.b;
+  }
+};
+
+/// How two segments intersect.
+enum class SegCross {
+  none,        ///< disjoint
+  proper,      ///< cross at a single interior point of both
+  touch,       ///< share a single point that is an endpoint of at least one
+  overlap,     ///< collinear with a shared sub-segment
+};
+
+/// Exact classification of the intersection of closed segments.
+SegCross classify_intersection(const Edge& e, const Edge& f);
+
+/// Intersection point of two properly crossing (or touching) non-collinear
+/// segments, rounded to the nearest database grid point.
+/// Precondition: classify_intersection(e, f) is proper or touch, and the
+/// segments are not collinear.
+Point intersection_point(const Edge& e, const Edge& f);
+
+/// For collinear overlapping segments, the endpoints of the shared
+/// sub-segment (ordered). Precondition: classification is overlap.
+std::pair<Point, Point> overlap_span(const Edge& e, const Edge& f);
+
+}  // namespace ebl

@@ -1,0 +1,91 @@
+// Integer point/vector type with exact predicates.
+#pragma once
+
+#include <compare>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+#include "geom/coord.h"
+
+namespace ebl {
+
+/// A point (or displacement vector) on the database grid.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  constexpr Point() = default;
+  constexpr Point(Coord px, Coord py) : x(px), y(py) {}
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {static_cast<Coord>(a.x + b.x), static_cast<Coord>(a.y + b.y)};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {static_cast<Coord>(a.x - b.x), static_cast<Coord>(a.y - b.y)};
+  }
+  constexpr Point operator-() const {
+    return {static_cast<Coord>(-x), static_cast<Coord>(-y)};
+  }
+  friend constexpr bool operator==(Point a, Point b) = default;
+  /// Lexicographic (y, then x) — the scanline order.
+  friend constexpr auto operator<=>(Point a, Point b) {
+    if (auto c = a.y <=> b.y; c != 0) return c;
+    return a.x <=> b.x;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Point p) {
+    return os << '(' << p.x << ',' << p.y << ')';
+  }
+};
+
+/// Exact cross product (b-a) × (c-a). Sign gives orientation:
+/// >0 left turn (CCW), <0 right turn, 0 collinear.
+constexpr Wide cross(Point a, Point b, Point c) {
+  const Coord64 abx = Coord64(b.x) - a.x;
+  const Coord64 aby = Coord64(b.y) - a.y;
+  const Coord64 acx = Coord64(c.x) - a.x;
+  const Coord64 acy = Coord64(c.y) - a.y;
+  return Wide(abx) * acy - Wide(aby) * acx;
+}
+
+/// Exact dot product (b-a) · (c-a).
+constexpr Wide dot(Point a, Point b, Point c) {
+  const Coord64 abx = Coord64(b.x) - a.x;
+  const Coord64 aby = Coord64(b.y) - a.y;
+  const Coord64 acx = Coord64(c.x) - a.x;
+  const Coord64 acy = Coord64(c.y) - a.y;
+  return Wide(abx) * acx + Wide(aby) * acy;
+}
+
+/// -1 / 0 / +1 sign of a wide integer.
+constexpr int sign(Wide v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+/// Squared Euclidean distance (exact, 64-bit safe for full coord range).
+constexpr Wide distance2(Point a, Point b) {
+  const Coord64 dx = Coord64(a.x) - b.x;
+  const Coord64 dy = Coord64(a.y) - b.y;
+  return Wide(dx) * dx + Wide(dy) * dy;
+}
+
+/// Manhattan distance.
+constexpr Coord64 manhattan(Point a, Point b) {
+  const Coord64 dx = Coord64(a.x) - b.x;
+  const Coord64 dy = Coord64(a.y) - b.y;
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+
+struct PointHash {
+  std::size_t operator()(Point p) const {
+    const std::uint64_t k =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+        static_cast<std::uint32_t>(p.y);
+    // splitmix64 finalizer
+    std::uint64_t z = k + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace ebl

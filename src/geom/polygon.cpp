@@ -1,0 +1,197 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace ebl {
+
+SimplePolygon::SimplePolygon(std::vector<Point> points) : pts_(std::move(points)) {}
+
+SimplePolygon SimplePolygon::rect(const Box& b) {
+  expects(!b.empty(), "SimplePolygon::rect on empty box");
+  return SimplePolygon{{{b.lo.x, b.lo.y}, {b.hi.x, b.lo.y}, {b.hi.x, b.hi.y}, {b.lo.x, b.hi.y}}};
+}
+
+Box SimplePolygon::bbox() const {
+  Box b;
+  for (Point p : pts_) b += p;
+  return b;
+}
+
+Area2 SimplePolygon::doubled_signed_area() const {
+  if (pts_.size() < 3) return 0;
+  Area2 sum = 0;
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Point a = pts_[i];
+    const Point b = pts_[(i + 1) % pts_.size()];
+    sum += Wide(Coord64(a.x)) * b.y - Wide(Coord64(b.x)) * a.y;
+  }
+  return sum;
+}
+
+double SimplePolygon::area() const {
+  Area2 a2 = doubled_signed_area();
+  if (a2 < 0) a2 = -a2;
+  return static_cast<double>(a2) / 2.0;
+}
+
+double SimplePolygon::perimeter() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pts_.size(); ++i)
+    sum += std::sqrt(static_cast<double>(distance2(pts_[i], pts_[(i + 1) % pts_.size()])));
+  return sum;
+}
+
+bool SimplePolygon::is_rectilinear() const {
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Edge e = edge(i);
+    if (!e.horizontal() && !e.vertical()) return false;
+  }
+  return true;
+}
+
+bool SimplePolygon::contains(Point p) const {
+  if (pts_.size() < 3) return false;
+  int winding = 0;
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Point a = pts_[i];
+    const Point b = pts_[(i + 1) % pts_.size()];
+    if (Edge{a, b}.contains(p)) return true;  // boundary counts as inside
+    if (a.y <= p.y) {
+      if (b.y > p.y && cross(a, b, p) > 0) ++winding;
+    } else {
+      if (b.y <= p.y && cross(a, b, p) < 0) --winding;
+    }
+  }
+  return winding != 0;
+}
+
+SimplePolygon SimplePolygon::normalized() const {
+  // Drop consecutive duplicates and collinear midpoints.
+  std::vector<Point> clean;
+  clean.reserve(pts_.size());
+  const std::size_t n = pts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point prev = pts_[(i + n - 1) % n];
+    const Point cur = pts_[i];
+    const Point next = pts_[(i + 1) % n];
+    if (cur == prev) continue;
+    if (cross(prev, cur, next) == 0 && dot(cur, prev, next) < 0) continue;  // straight through
+    clean.push_back(cur);
+  }
+  // A second pass can be needed when removals create new collinearity.
+  bool changed = true;
+  while (changed && clean.size() >= 3) {
+    changed = false;
+    std::vector<Point> next_pass;
+    const std::size_t m = clean.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      const Point prev = clean[(i + m - 1) % m];
+      const Point cur = clean[i];
+      const Point next = clean[(i + 1) % m];
+      if (cur == prev || (cross(prev, cur, next) == 0 && dot(cur, prev, next) <= 0)) {
+        changed = true;
+        continue;
+      }
+      next_pass.push_back(cur);
+    }
+    clean = std::move(next_pass);
+  }
+  if (clean.size() < 3) return SimplePolygon{};
+
+  SimplePolygon result{std::move(clean)};
+  if (!result.is_ccw()) result = result.reversed();
+
+  // Rotate so the smallest vertex is first.
+  auto& v = result.pts_;
+  const auto smallest = std::min_element(v.begin(), v.end());
+  std::rotate(v.begin(), smallest, v.end());
+  return result;
+}
+
+SimplePolygon SimplePolygon::reversed() const {
+  std::vector<Point> r(pts_.rbegin(), pts_.rend());
+  return SimplePolygon{std::move(r)};
+}
+
+SimplePolygon SimplePolygon::transformed(const Trans& t) const {
+  std::vector<Point> r;
+  r.reserve(pts_.size());
+  for (Point p : pts_) r.push_back(t(p));
+  return SimplePolygon{std::move(r)};
+}
+
+SimplePolygon SimplePolygon::transformed(const CTrans& t) const {
+  std::vector<Point> r;
+  r.reserve(pts_.size());
+  for (Point p : pts_) r.push_back(t(p));
+  return SimplePolygon{std::move(r)};
+}
+
+std::ostream& operator<<(std::ostream& os, const SimplePolygon& p) {
+  os << "poly{";
+  for (std::size_t i = 0; i < p.pts_.size(); ++i) {
+    if (i) os << ' ';
+    os << p.pts_[i];
+  }
+  return os << '}';
+}
+
+Polygon::Polygon(SimplePolygon outer, std::vector<SimplePolygon> holes)
+    : outer_(std::move(outer)), holes_(std::move(holes)) {
+  if (!outer_.empty() && !outer_.is_ccw()) outer_ = outer_.reversed();
+  for (auto& h : holes_) {
+    if (!h.empty() && h.is_ccw()) h = h.reversed();
+  }
+}
+
+Area2 Polygon::doubled_area() const {
+  Area2 a = outer_.doubled_signed_area();  // positive (CCW)
+  for (const auto& h : holes_) a += h.doubled_signed_area();  // negative (CW)
+  return a;
+}
+
+double Polygon::area() const { return static_cast<double>(doubled_area()) / 2.0; }
+
+std::size_t Polygon::vertex_count() const {
+  std::size_t n = outer_.size();
+  for (const auto& h : holes_) n += h.size();
+  return n;
+}
+
+bool Polygon::contains(Point p) const {
+  if (!outer_.contains(p)) return false;
+  for (const auto& h : holes_) {
+    // Inside a hole (but not on its boundary) means outside the polygon.
+    bool on_boundary = false;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (h.edge(i).contains(p)) { on_boundary = true; break; }
+    }
+    if (!on_boundary && h.contains(p)) return false;
+  }
+  return true;
+}
+
+Polygon Polygon::transformed(const Trans& t) const {
+  std::vector<SimplePolygon> hs;
+  hs.reserve(holes_.size());
+  for (const auto& h : holes_) hs.push_back(h.transformed(t));
+  return Polygon{outer_.transformed(t), std::move(hs)};
+}
+
+Polygon Polygon::transformed(const CTrans& t) const {
+  std::vector<SimplePolygon> hs;
+  hs.reserve(holes_.size());
+  for (const auto& h : holes_) hs.push_back(h.transformed(t));
+  return Polygon{outer_.transformed(t), std::move(hs)};
+}
+
+std::ostream& operator<<(std::ostream& os, const Polygon& p) {
+  os << p.outer_;
+  for (const auto& h : p.holes_) os << " hole:" << h;
+  return os;
+}
+
+}  // namespace ebl

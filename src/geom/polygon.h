@@ -1,0 +1,114 @@
+// Simple polygons and polygons-with-holes on the database grid.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/edge.h"
+#include "geom/point.h"
+#include "geom/transform.h"
+
+namespace ebl {
+
+/// A simple (non-self-intersecting by convention) closed polygon.
+/// The contour is stored without a repeated closing point.
+/// Orientation is free; normalized() makes it counter-clockwise.
+class SimplePolygon {
+ public:
+  SimplePolygon() = default;
+  explicit SimplePolygon(std::vector<Point> points);
+
+  /// Axis-aligned rectangle helper.
+  static SimplePolygon rect(const Box& b);
+  static SimplePolygon rect(Coord x0, Coord y0, Coord x1, Coord y1) {
+    return rect(Box{x0, y0, x1, y1});
+  }
+
+  std::span<const Point> points() const { return pts_; }
+  std::size_t size() const { return pts_.size(); }
+  bool empty() const { return pts_.empty(); }
+  Point operator[](std::size_t i) const { return pts_[i]; }
+
+  /// Edge i runs from vertex i to vertex (i+1) mod n.
+  Edge edge(std::size_t i) const {
+    return {pts_[i], pts_[(i + 1) % pts_.size()]};
+  }
+
+  Box bbox() const;
+
+  /// Doubled signed area (shoelace); positive for CCW contours. Exact.
+  Area2 doubled_signed_area() const;
+
+  /// |area| in dbu² as double (may lose precision beyond 2^53 dbu²).
+  double area() const;
+
+  /// True when the contour is counter-clockwise (positive area).
+  bool is_ccw() const { return doubled_signed_area() > 0; }
+
+  /// Perimeter length in dbu.
+  double perimeter() const;
+
+  /// True for axis-parallel contours.
+  bool is_rectilinear() const;
+
+  /// Winding-number point test (exact). Points on the boundary are inside.
+  bool contains(Point p) const;
+
+  /// Copy with duplicate/collinear vertices removed, oriented CCW, and
+  /// rotated so the lexicographically smallest vertex comes first.
+  /// Canonical form: equal regions compare equal.
+  SimplePolygon normalized() const;
+
+  /// Copy with reversed orientation.
+  SimplePolygon reversed() const;
+
+  SimplePolygon transformed(const Trans& t) const;
+  SimplePolygon transformed(const CTrans& t) const;
+
+  friend bool operator==(const SimplePolygon&, const SimplePolygon&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const SimplePolygon& p);
+
+ private:
+  std::vector<Point> pts_;
+};
+
+/// Polygon with holes: one CCW outer contour plus CW hole contours.
+/// (Orientations are normalized on construction.)
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(SimplePolygon outer, std::vector<SimplePolygon> holes = {});
+  static Polygon rect(const Box& b) { return Polygon{SimplePolygon::rect(b)}; }
+
+  const SimplePolygon& outer() const { return outer_; }
+  std::span<const SimplePolygon> holes() const { return holes_; }
+  bool empty() const { return outer_.empty(); }
+
+  Box bbox() const { return outer_.bbox(); }
+
+  /// Exact doubled area: outer minus holes.
+  Area2 doubled_area() const;
+  double area() const;
+
+  /// Total vertex count across all contours.
+  std::size_t vertex_count() const;
+
+  /// Point test honoring holes (boundary points count as inside the
+  /// contour that owns them).
+  bool contains(Point p) const;
+
+  Polygon transformed(const Trans& t) const;
+  Polygon transformed(const CTrans& t) const;
+
+  friend bool operator==(const Polygon&, const Polygon&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Polygon& p);
+
+ private:
+  SimplePolygon outer_;
+  std::vector<SimplePolygon> holes_;
+};
+
+}  // namespace ebl

@@ -1,0 +1,156 @@
+#include "geom/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+struct DPt {
+  double x, y;
+};
+
+// Sutherland–Hodgman clip of a convex polygon against an axis-aligned
+// half-plane. keep(p) must be convex-friendly (half-plane predicate).
+template <typename Keep, typename Intersect>
+void clip_halfplane(std::vector<DPt>& poly, std::vector<DPt>& scratch, Keep keep,
+                    Intersect intersect) {
+  scratch.clear();
+  const std::size_t n = poly.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const DPt a = poly[i];
+    const DPt b = poly[(i + 1) % n];
+    const bool ka = keep(a);
+    const bool kb = keep(b);
+    if (ka) scratch.push_back(a);
+    if (ka != kb) scratch.push_back(intersect(a, b));
+  }
+  poly.swap(scratch);
+}
+
+double shoelace(const std::vector<DPt>& poly) {
+  double s = 0.0;
+  const std::size_t n = poly.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const DPt a = poly[i];
+    const DPt b = poly[(i + 1) % n];
+    s += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * s;
+}
+
+}  // namespace
+
+Raster::Raster(const Box& frame, Coord pixel_size) : pix_(pixel_size) {
+  expects(pixel_size > 0, "Raster: pixel size must be positive");
+  expects(!frame.empty(), "Raster: frame must be non-empty");
+  origin_ = frame.lo;
+  nx_ = static_cast<int>((frame.width() + pixel_size - 1) / pixel_size);
+  ny_ = static_cast<int>((frame.height() + pixel_size - 1) / pixel_size);
+  nx_ = std::max(nx_, 1);
+  ny_ = std::max(ny_, 1);
+  data_.assign(static_cast<std::size_t>(nx_) * ny_, 0.0);
+}
+
+double& Raster::at(int ix, int iy) {
+  expects(ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_, "Raster::at out of range");
+  return data_[static_cast<std::size_t>(iy) * nx_ + ix];
+}
+
+double Raster::at(int ix, int iy) const {
+  expects(ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_, "Raster::at out of range");
+  return data_[static_cast<std::size_t>(iy) * nx_ + ix];
+}
+
+Point Raster::center(int ix, int iy) const {
+  return {static_cast<Coord>(origin_.x + Coord64(ix) * pix_ + pix_ / 2),
+          static_cast<Coord>(origin_.y + Coord64(iy) * pix_ + pix_ / 2)};
+}
+
+std::pair<int, int> Raster::index_of(Point p) const {
+  auto clamp = [](Coord64 v, int hi) {
+    return static_cast<int>(std::clamp<Coord64>(v, 0, hi - 1));
+  };
+  const Coord64 ix = (Coord64(p.x) - origin_.x) / pix_;
+  const Coord64 iy = (Coord64(p.y) - origin_.y) / pix_;
+  return {clamp(ix, nx_), clamp(iy, ny_)};
+}
+
+void Raster::add_coverage(const Trapezoid& t, double weight) {
+  if (!t.valid()) return;
+  const Box bb = t.bbox();
+  const double inv_area = 1.0 / (static_cast<double>(pix_) * pix_);
+
+  const Coord64 gx0 = std::max<Coord64>((Coord64(bb.lo.x) - origin_.x) / pix_, 0);
+  const Coord64 gy0 = std::max<Coord64>((Coord64(bb.lo.y) - origin_.y) / pix_, 0);
+  const Coord64 gx1 = std::min<Coord64>((Coord64(bb.hi.x) - origin_.x) / pix_, nx_ - 1);
+  const Coord64 gy1 = std::min<Coord64>((Coord64(bb.hi.y) - origin_.y) / pix_, ny_ - 1);
+  if (gx0 > gx1 || gy0 > gy1) return;
+
+  std::vector<DPt> poly;
+  std::vector<DPt> scratch;
+  for (Coord64 iy = gy0; iy <= gy1; ++iy) {
+    const double py0 = static_cast<double>(origin_.y) + static_cast<double>(iy) * pix_;
+    const double py1 = py0 + pix_;
+    for (Coord64 ix = gx0; ix <= gx1; ++ix) {
+      const double px0 = static_cast<double>(origin_.x) + static_cast<double>(ix) * pix_;
+      const double px1 = px0 + pix_;
+
+      poly.clear();
+      poly.push_back({double(t.xl0), double(t.y0)});
+      if (t.xr0 != t.xl0) poly.push_back({double(t.xr0), double(t.y0)});
+      poly.push_back({double(t.xr1), double(t.y1)});
+      if (t.xl1 != t.xr1) poly.push_back({double(t.xl1), double(t.y1)});
+
+      clip_halfplane(poly, scratch, [&](DPt p) { return p.x >= px0; },
+                     [&](DPt a, DPt b) {
+                       const double s = (px0 - a.x) / (b.x - a.x);
+                       return DPt{px0, a.y + s * (b.y - a.y)};
+                     });
+      if (poly.empty()) continue;
+      clip_halfplane(poly, scratch, [&](DPt p) { return p.x <= px1; },
+                     [&](DPt a, DPt b) {
+                       const double s = (px1 - a.x) / (b.x - a.x);
+                       return DPt{px1, a.y + s * (b.y - a.y)};
+                     });
+      if (poly.empty()) continue;
+      clip_halfplane(poly, scratch, [&](DPt p) { return p.y >= py0; },
+                     [&](DPt a, DPt b) {
+                       const double s = (py0 - a.y) / (b.y - a.y);
+                       return DPt{a.x + s * (b.x - a.x), py0};
+                     });
+      if (poly.empty()) continue;
+      clip_halfplane(poly, scratch, [&](DPt p) { return p.y <= py1; },
+                     [&](DPt a, DPt b) {
+                       const double s = (py1 - a.y) / (b.y - a.y);
+                       return DPt{a.x + s * (b.x - a.x), py1};
+                     });
+      if (poly.size() < 3) continue;
+
+      const double covered = std::abs(shoelace(poly));
+      if (covered <= 0.0) continue;
+      data_[static_cast<std::size_t>(iy) * nx_ + static_cast<std::size_t>(ix)] +=
+          weight * covered * inv_area;
+    }
+  }
+}
+
+void Raster::add_coverage(const std::vector<Trapezoid>& traps, double weight) {
+  for (const auto& t : traps) add_coverage(t, weight);
+}
+
+double Raster::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Raster::max_value() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace ebl

@@ -1,0 +1,111 @@
+#include "geom/sizing.h"
+
+#include <cmath>
+#include <optional>
+
+#include "geom/polygon_set.h"
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+struct DVec {
+  double x, y;
+};
+
+// Intersection of two lines given in point+direction form (doubles).
+std::optional<DVec> line_intersection(DVec p1, DVec d1, DVec p2, DVec d2) {
+  const double denom = d1.x * d2.y - d1.y * d2.x;
+  if (std::abs(denom) < 1e-12) return std::nullopt;
+  const double t = ((p2.x - p1.x) * d2.y - (p2.y - p1.y) * d2.x) / denom;
+  return DVec{p1.x + t * d1.x, p1.y + t * d1.y};
+}
+
+Point round_point(DVec v) {
+  return {static_cast<Coord>(std::lround(v.x)), static_cast<Coord>(std::lround(v.y))};
+}
+
+// Offsets one contour to the right of its traversal direction by delta
+// (delta > 0). For CCW outer contours this grows the solid; for CW hole
+// contours it shrinks the hole — i.e. it always grows the region.
+//
+// Each input edge contributes its translated segment explicitly; corners that
+// open a gap on the offset side (left turns) are closed with a miter point
+// (beveled past the miter limit), corners that overlap (right turns) connect
+// directly and the overlap cancels by winding. Emitting the translated edges
+// (not just miter vertices) is what makes fully-inverted contours cancel
+// instead of re-appearing point-reflected.
+SimplePolygon offset_contour(const SimplePolygon& c, double delta, double miter_limit) {
+  const std::size_t n = c.size();
+  std::vector<Point> out;
+  out.reserve(2 * n + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point prev = c[(i + n - 1) % n];
+    const Point cur = c[i];
+    const Point next = c[(i + 1) % n];
+    if (cur == next) continue;
+
+    const DVec d1{double(cur.x) - prev.x, double(cur.y) - prev.y};
+    const DVec d2{double(next.x) - cur.x, double(next.y) - cur.y};
+    const double l1 = std::hypot(d1.x, d1.y);
+    const double l2 = std::hypot(d2.x, d2.y);
+    if (l2 == 0.0) continue;
+    // Right normals scaled by delta.
+    const DVec n2{d2.y / l2 * delta, -d2.x / l2 * delta};
+    const DVec start{cur.x + n2.x, cur.y + n2.y};  // start of offset edge cur->next
+
+    if (l1 > 0.0) {
+      const DVec n1{d1.y / l1 * delta, -d1.x / l1 * delta};
+      const DVec end{cur.x + n1.x, cur.y + n1.y};  // end of offset edge prev->cur
+      // Gap on the offset (right) side opens when the contour turns left.
+      const double turn = d1.x * d2.y - d1.y * d2.x;
+      const bool gap = delta > 0 ? turn > 0 : turn < 0;
+      if (gap) {
+        const auto miter = line_intersection(end, d1, start, d2);
+        if (miter) {
+          const double mx = miter->x - cur.x;
+          const double my = miter->y - cur.y;
+          if (std::hypot(mx, my) <= miter_limit * std::abs(delta) + 0.5)
+            out.push_back(round_point(*miter));
+          // else: bevel — the straight end->start connection suffices.
+        }
+      }
+    }
+    // The translated edge cur->next.
+    out.push_back(round_point(start));
+    out.push_back(round_point({next.x + n2.x, next.y + n2.y}));
+  }
+  return SimplePolygon{std::move(out)};
+}
+
+PolygonSet grow(const PolygonSet& set, Coord delta, double miter_limit) {
+  // Polygon guarantees outer CCW / holes CW; offsetting to the right of the
+  // traversal direction grows the solid on both kinds of contour. Offsets are
+  // added with their raw orientation: a hole contour that inverts because the
+  // grow distance exceeds the hole size flips to CCW and its winding then
+  // fills the hole instead of resurrecting a phantom one.
+  BooleanEngine eng;
+  for (const Polygon& p : set.polygons()) {
+    eng.add_raw(offset_contour(p.outer(), delta, miter_limit), 0);
+    for (const auto& h : p.holes()) eng.add_raw(offset_contour(h, delta, miter_limit), 0);
+  }
+  return PolygonSet{eng.polygons(BoolOp::Or)};
+}
+
+}  // namespace
+
+PolygonSet size_polygons(const PolygonSet& set, Coord delta, double miter_limit) {
+  if (set.empty() || delta == 0) return set.merged();
+  if (delta > 0) return grow(set, delta, miter_limit);
+
+  // Shrink via complement: frame \ grow(frame \ set).
+  const Coord d = static_cast<Coord>(-delta);
+  const Box frame = set.bbox().bloated(static_cast<Coord>(Coord64(d) * 4 + 64));
+  PolygonSet frame_set;
+  frame_set.insert(frame);
+  const PolygonSet complement = frame_set.subtracted(set);
+  const PolygonSet grown = grow(complement, d, miter_limit);
+  return frame_set.subtracted(grown);
+}
+
+}  // namespace ebl

@@ -1,0 +1,22 @@
+// Isotropic polygon sizing (grow/shrink) with miter joins.
+#pragma once
+
+#include "geom/coord.h"
+
+namespace ebl {
+
+class PolygonSet;
+
+/// Returns @p set grown (delta > 0) or shrunk (delta < 0) by |delta| dbu.
+///
+/// Growing offsets every contour edge outward and resolves the
+/// self-intersections of the offset contours with a merge. Shrinking is
+/// computed as the complement of growing the complement, which is robust
+/// against contours that invert when the shape is narrower than 2*|delta|
+/// (such parts vanish, as they should).
+///
+/// Joins are mitered and capped at @p miter_limit times |delta| (beveled
+/// beyond that), matching typical mask data prep behaviour.
+PolygonSet size_polygons(const PolygonSet& set, Coord delta, double miter_limit = 2.0);
+
+}  // namespace ebl

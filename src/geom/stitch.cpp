@@ -1,0 +1,199 @@
+// Polygon reconstruction from a band decomposition.
+//
+// Every boundary edge of the result region is emitted as a directed segment
+// with the region interior on its LEFT:
+//   - interval left sides run downward, right sides run upward;
+//   - horizontal boundaries are recovered by a 1-D XOR between the top
+//     intervals of the band below and the bottom intervals of the band above
+//     at each event y (pieces covered on the upper side run right, pieces
+//     covered on the lower side run left).
+// The directed edges then decompose uniquely into boundary cycles; cycles are
+// traced with an exact angular "sharpest clockwise turn" rule so touching
+// corners resolve into simple loops. CCW cycles are outer contours, CW
+// cycles are holes; holes attach to the smallest enclosing outer contour.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "geom/boolean.h"
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+struct Dir {
+  Coord64 dx;
+  Coord64 dy;
+};
+
+Wide dcross(Dir a, Dir b) { return Wide(a.dx) * b.dy - Wide(a.dy) * b.dx; }
+
+bool same_dir(Dir a, Dir b) {
+  return dcross(a, b) == 0 && Wide(a.dx) * b.dx + Wide(a.dy) * b.dy > 0;
+}
+
+// Rank of direction d in a clockwise sweep that starts just after the
+// reference direction r. Lower rank = encountered earlier. Exact.
+// Order: strictly-clockwise half (cross(r,d) < 0), then -r, then the
+// counter-clockwise half, then r itself.
+struct CwFromRef {
+  Dir r;
+  // Returns true when a comes strictly before b in the clockwise sweep.
+  bool operator()(Dir a, Dir b) const {
+    const int ga = group(a);
+    const int gb = group(b);
+    if (ga != gb) return ga < gb;
+    if (ga == 1 || ga == 3) return false;  // -r / r classes are single points
+    return dcross(a, b) < 0;
+  }
+  int group(Dir d) const {
+    if (same_dir(d, r)) return 3;
+    const Wide c = dcross(r, d);
+    if (c < 0) return 0;
+    if (c == 0) return 1;  // opposite of r
+    return 2;
+  }
+};
+
+struct DirEdge {
+  Point a, b;
+};
+
+}  // namespace
+
+std::vector<Polygon> stitch_bands(const std::vector<Band>& bands) {
+  if (bands.empty()) return {};
+
+  std::vector<DirEdge> edges;
+
+  // Side pieces.
+  for (const Band& band : bands) {
+    for (const BandInterval& iv : band.intervals) {
+      edges.push_back({{iv.xl1, band.y1}, {iv.xl0, band.y0}});  // left side, down
+      edges.push_back({{iv.xr0, band.y0}, {iv.xr1, band.y1}});  // right side, up
+    }
+  }
+
+  // Horizontal pieces: 1-D XOR of coverage below vs. above each event y.
+  struct XEvent {
+    Coord x;
+    int below;  // +1/-1
+    int above;
+  };
+  std::map<Coord, std::vector<XEvent>> per_y;
+  for (const Band& band : bands) {
+    for (const BandInterval& iv : band.intervals) {
+      if (iv.xr1 > iv.xl1) {  // top side of this band covers y = band.y1 from below
+        per_y[band.y1].push_back({iv.xl1, +1, 0});
+        per_y[band.y1].push_back({iv.xr1, -1, 0});
+      }
+      if (iv.xr0 > iv.xl0) {  // bottom side covers y = band.y0 from above
+        per_y[band.y0].push_back({iv.xl0, 0, +1});
+        per_y[band.y0].push_back({iv.xr0, 0, -1});
+      }
+    }
+  }
+  for (auto& [y, events] : per_y) {
+    std::sort(events.begin(), events.end(),
+              [](const XEvent& a, const XEvent& b) { return a.x < b.x; });
+    int cb = 0;
+    int ca = 0;
+    Coord prev_x = 0;
+    bool have_prev = false;
+    std::size_t i = 0;
+    while (i < events.size()) {
+      const Coord x = events[i].x;
+      if (have_prev && x > prev_x) {
+        const bool below_in = cb > 0;
+        const bool above_in = ca > 0;
+        if (above_in && !below_in) edges.push_back({{prev_x, y}, {x, y}});  // bottom, right
+        if (below_in && !above_in) edges.push_back({{x, y}, {prev_x, y}});  // top, left
+      }
+      while (i < events.size() && events[i].x == x) {
+        cb += events[i].below;
+        ca += events[i].above;
+        ++i;
+      }
+      prev_x = x;
+      have_prev = true;
+    }
+  }
+
+  // Group directed edges by origin.
+  std::unordered_map<Point, std::vector<std::size_t>, PointHash> out;
+  out.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) out[edges[i].a].push_back(i);
+
+  const auto dir_of = [&](std::size_t e) -> Dir {
+    return {Coord64(edges[e].b.x) - edges[e].a.x, Coord64(edges[e].b.y) - edges[e].a.y};
+  };
+
+  std::vector<char> used(edges.size(), 0);
+  std::vector<SimplePolygon> outers;
+  std::vector<SimplePolygon> holes;
+
+  for (std::size_t start = 0; start < edges.size(); ++start) {
+    if (used[start]) continue;
+    std::vector<Point> loop;
+    std::size_t cur = start;
+    // Trace until we are about to re-use the starting edge.
+    for (std::size_t guard = 0; guard <= edges.size(); ++guard) {
+      used[cur] = 1;
+      loop.push_back(edges[cur].a);
+      const Point v = edges[cur].b;
+      const Dir din = dir_of(cur);
+      const Dir rev{-din.dx, -din.dy};
+      auto it = out.find(v);
+      if (it == out.end()) throw DataError("stitch: dangling boundary edge");
+      // Sharpest clockwise turn from the reversed incoming direction.
+      // Candidates: all unused outgoing edges, plus the start edge (taking
+      // it closes the loop). The face structure guarantees the sharpest
+      // clockwise turn is the correct continuation even at touch vertices.
+      const CwFromRef cw{rev};
+      std::size_t best = SIZE_MAX;
+      for (std::size_t cand : it->second) {
+        if (used[cand] && cand != start) continue;
+        if (best == SIZE_MAX || cw(dir_of(cand), dir_of(best))) best = cand;
+      }
+      if (best == SIZE_MAX) throw DataError("stitch: boundary walk has no continuation");
+      if (best == start) break;  // loop closed
+      cur = best;
+    }
+
+    SimplePolygon contour{std::move(loop)};
+    const Area2 a2 = contour.doubled_signed_area();
+    if (a2 == 0) continue;  // degenerate filament from grid snapping
+    if (a2 > 0) {
+      outers.push_back(contour.normalized());
+    } else {
+      holes.push_back(contour.normalized());  // normalized() flips to CCW; flip back later
+    }
+  }
+
+  // Assign holes to the smallest enclosing outer contour.
+  std::vector<Polygon> result;
+  std::vector<std::vector<SimplePolygon>> hole_sets(outers.size());
+  for (const auto& h : holes) {
+    const Point probe = h.empty() ? Point{} : h[0];
+    std::size_t best = SIZE_MAX;
+    double best_area = 0.0;
+    for (std::size_t i = 0; i < outers.size(); ++i) {
+      if (!outers[i].bbox().contains(h.bbox())) continue;
+      if (!outers[i].contains(probe)) continue;
+      const double area = outers[i].area();
+      if (best == SIZE_MAX || area < best_area) {
+        best = i;
+        best_area = area;
+      }
+    }
+    if (best == SIZE_MAX) throw DataError("stitch: hole without enclosing contour");
+    hole_sets[best].push_back(h.reversed());  // holes are CW
+  }
+
+  result.reserve(outers.size());
+  for (std::size_t i = 0; i < outers.size(); ++i)
+    result.emplace_back(std::move(outers[i]), std::move(hole_sets[i]));
+  return result;
+}
+
+}  // namespace ebl

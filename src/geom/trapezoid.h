@@ -1,0 +1,84 @@
+// Horizontal trapezoids — the native primitive of e-beam pattern generators.
+//
+// A trapezoid has two horizontal sides at y0 < y1 and two straight (possibly
+// slanted) sides. Degenerate forms (triangles: one horizontal side of zero
+// length) are allowed; that is what machine formats accept as well.
+#pragma once
+
+#include <ostream>
+
+#include "geom/box.h"
+#include "geom/polygon.h"
+
+namespace ebl {
+
+/// Horizontal trapezoid: bottom side [xl0,xr0] at y0, top side [xl1,xr1] at y1.
+struct Trapezoid {
+  Coord y0 = 0, y1 = 0;    ///< bottom / top y (y0 < y1 for non-degenerate)
+  Coord xl0 = 0, xr0 = 0;  ///< bottom-left / bottom-right x
+  Coord xl1 = 0, xr1 = 0;  ///< top-left / top-right x
+
+  constexpr Trapezoid() = default;
+  constexpr Trapezoid(Coord by, Coord ty, Coord bl, Coord br, Coord tl, Coord tr)
+      : y0(by), y1(ty), xl0(bl), xr0(br), xl1(tl), xr1(tr) {}
+
+  /// Axis-aligned rectangle as a trapezoid.
+  static constexpr Trapezoid rect(const Box& b) {
+    return {b.lo.y, b.hi.y, b.lo.x, b.hi.x, b.lo.x, b.hi.x};
+  }
+
+  constexpr bool valid() const {
+    return y1 > y0 && xr0 >= xl0 && xr1 >= xl1 && (xr0 > xl0 || xr1 > xl1);
+  }
+
+  constexpr bool is_rect() const { return xl0 == xl1 && xr0 == xr1; }
+
+  constexpr bool is_triangle() const { return xl0 == xr0 || xl1 == xr1; }
+
+  /// Exact doubled area = (bottom width + top width) * height.
+  constexpr Area2 doubled_area() const {
+    return (Wide(Coord64(xr0) - xl0) + (Coord64(xr1) - xl1)) * (Coord64(y1) - y0);
+  }
+
+  double area() const { return static_cast<double>(doubled_area()) / 2.0; }
+
+  constexpr Box bbox() const {
+    Box b;
+    b += Point{xl0, y0};
+    b += Point{xr0, y0};
+    b += Point{xl1, y1};
+    b += Point{xr1, y1};
+    return b;
+  }
+
+  /// CCW polygon contour (degenerate sides collapsed).
+  SimplePolygon to_polygon() const {
+    std::vector<Point> pts;
+    pts.push_back({xl0, y0});
+    if (xr0 != xl0) pts.push_back({xr0, y0});
+    pts.push_back({xr1, y1});
+    if (xl1 != xr1) pts.push_back({xl1, y1});
+    return SimplePolygon{std::move(pts)};
+  }
+
+  /// Exact point test (closed region).
+  bool contains(Point p) const {
+    if (p.y < y0 || p.y > y1) return false;
+    const Coord64 h = Coord64(y1) - y0;
+    const Coord64 dy = Coord64(p.y) - y0;
+    // left boundary x(p.y) <= p.x :  xl0*h + (xl1-xl0)*dy <= p.x*h
+    const Wide left = Wide(Coord64(xl0)) * h + Wide(Coord64(xl1) - xl0) * dy;
+    const Wide right = Wide(Coord64(xr0)) * h + Wide(Coord64(xr1) - xr0) * dy;
+    const Wide px = Wide(Coord64(p.x)) * h;
+    return left <= px && px <= right;
+  }
+
+  friend constexpr bool operator==(const Trapezoid&, const Trapezoid&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Trapezoid& t) {
+    return os << "trap{y " << t.y0 << ".." << t.y1 << " bot[" << t.xl0 << ',' << t.xr0
+              << "] top[" << t.xl1 << ',' << t.xr1 << "]}";
+  }
+};
+
+}  // namespace ebl

@@ -1,0 +1,34 @@
+#include "layout/cell.h"
+
+namespace ebl {
+
+const std::vector<Polygon>& Cell::shapes_on(LayerKey layer) const {
+  static const std::vector<Polygon> kEmpty;
+  const auto it = shapes_.find(layer);
+  return it == shapes_.end() ? kEmpty : it->second;
+}
+
+std::vector<LayerKey> Cell::layers() const {
+  std::vector<LayerKey> out;
+  out.reserve(shapes_.size());
+  for (const auto& [key, polys] : shapes_) {
+    if (!polys.empty()) out.push_back(key);
+  }
+  return out;
+}
+
+std::size_t Cell::local_shape_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, polys] : shapes_) n += polys.size();
+  return n;
+}
+
+Box Cell::local_bbox() const {
+  Box b;
+  for (const auto& [key, polys] : shapes_) {
+    for (const auto& p : polys) b += p.bbox();
+  }
+  return b;
+}
+
+}  // namespace ebl

@@ -1,0 +1,475 @@
+#include "layout/gdsii.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+// Record types (record_type << 8 | data_type).
+enum : std::uint16_t {
+  kHeader = 0x0002,
+  kBgnLib = 0x0102,
+  kLibName = 0x0206,
+  kUnits = 0x0305,
+  kEndLib = 0x0400,
+  kBgnStr = 0x0502,
+  kStrName = 0x0606,
+  kEndStr = 0x0700,
+  kBoundary = 0x0800,
+  kPath = 0x0900,
+  kSref = 0x0A00,
+  kAref = 0x0B00,
+  kText = 0x0C00,
+  kLayer = 0x0D02,
+  kDatatype = 0x0E02,
+  kWidth = 0x0F03,
+  kXy = 0x1003,
+  kEndEl = 0x1100,
+  kSname = 0x1206,
+  kColRow = 0x1302,
+  kNode = 0x1500,
+  kBoxEl = 0x2D00,
+  kStrans = 0x1A01,
+  kMag = 0x1B05,
+  kAngle = 0x1C05,
+};
+
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::ostream& os) : os_(os) {}
+
+  void record(std::uint16_t type, const std::vector<std::uint8_t>& payload = {}) {
+    const std::size_t len = payload.size() + 4;
+    expects(len <= 0xFFFF, "GDS record too long");
+    put16(static_cast<std::uint16_t>(len));
+    put16(type);
+    os_.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+
+  static void push16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+    v.push_back(static_cast<std::uint8_t>(x >> 8));
+    v.push_back(static_cast<std::uint8_t>(x));
+  }
+  static void push32(std::vector<std::uint8_t>& v, std::uint32_t x) {
+    v.push_back(static_cast<std::uint8_t>(x >> 24));
+    v.push_back(static_cast<std::uint8_t>(x >> 16));
+    v.push_back(static_cast<std::uint8_t>(x >> 8));
+    v.push_back(static_cast<std::uint8_t>(x));
+  }
+  static void push64(std::vector<std::uint8_t>& v, std::uint64_t x) {
+    for (int s = 56; s >= 0; s -= 8) v.push_back(static_cast<std::uint8_t>(x >> s));
+  }
+  static void push_string(std::vector<std::uint8_t>& v, const std::string& s) {
+    for (char c : s) v.push_back(static_cast<std::uint8_t>(c));
+    if (v.size() % 2) v.push_back(0);  // pad to even length
+  }
+
+ private:
+  void put16(std::uint16_t x) {
+    const char b[2] = {static_cast<char>(x >> 8), static_cast<char>(x)};
+    os_.write(b, 2);
+  }
+  std::ostream& os_;
+};
+
+class RecordReader {
+ public:
+  explicit RecordReader(std::istream& is) : is_(is) {}
+
+  /// Reads the next record; returns false at a clean EOF.
+  bool next() {
+    std::uint8_t head[4];
+    is_.read(reinterpret_cast<char*>(head), 4);
+    if (is_.gcount() == 0) return false;
+    if (is_.gcount() != 4) throw DataError("GDS: truncated record header");
+    const std::uint16_t len = static_cast<std::uint16_t>((head[0] << 8) | head[1]);
+    type_ = static_cast<std::uint16_t>((head[2] << 8) | head[3]);
+    if (len < 4) {
+      // Some writers emit a null word as padding at EOF.
+      if (len == 0 && type_ == 0) return false;
+      throw DataError("GDS: record length < 4");
+    }
+    payload_.resize(len - 4u);
+    if (!payload_.empty()) {
+      is_.read(reinterpret_cast<char*>(payload_.data()),
+               static_cast<std::streamsize>(payload_.size()));
+      if (static_cast<std::size_t>(is_.gcount()) != payload_.size())
+        throw DataError("GDS: truncated record payload");
+    }
+    return true;
+  }
+
+  std::uint16_t type() const { return type_; }
+  const std::vector<std::uint8_t>& payload() const { return payload_; }
+
+  std::uint16_t u16(std::size_t offset) const {
+    expects(offset + 2 <= payload_.size(), "GDS: u16 out of record");
+    return static_cast<std::uint16_t>((payload_[offset] << 8) | payload_[offset + 1]);
+  }
+  std::int16_t i16(std::size_t offset) const {
+    return static_cast<std::int16_t>(u16(offset));
+  }
+  std::int32_t i32(std::size_t offset) const {
+    expects(offset + 4 <= payload_.size(), "GDS: i32 out of record");
+    return static_cast<std::int32_t>((std::uint32_t(payload_[offset]) << 24) |
+                                     (std::uint32_t(payload_[offset + 1]) << 16) |
+                                     (std::uint32_t(payload_[offset + 2]) << 8) |
+                                     std::uint32_t(payload_[offset + 3]));
+  }
+  std::uint64_t u64(std::size_t offset) const {
+    expects(offset + 8 <= payload_.size(), "GDS: u64 out of record");
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x = (x << 8) | payload_[offset + static_cast<std::size_t>(i)];
+    return x;
+  }
+  std::string str() const {
+    std::string s(payload_.begin(), payload_.end());
+    while (!s.empty() && s.back() == '\0') s.pop_back();
+    return s;
+  }
+
+ private:
+  std::istream& is_;
+  std::uint16_t type_ = 0;
+  std::vector<std::uint8_t> payload_;
+};
+
+std::vector<std::uint8_t> i16_payload(std::int16_t v) {
+  std::vector<std::uint8_t> p;
+  RecordWriter::push16(p, static_cast<std::uint16_t>(v));
+  return p;
+}
+
+// Zero-filled 12-word BGNLIB/BGNSTR timestamp payload (dates are irrelevant
+// for data prep and zero keeps output byte-reproducible).
+std::vector<std::uint8_t> timestamp_payload() {
+  return std::vector<std::uint8_t>(24, 0);
+}
+
+void write_xy(RecordWriter& w, const SimplePolygon& contour) {
+  std::vector<std::uint8_t> p;
+  for (const Point pt : contour.points()) {
+    RecordWriter::push32(p, static_cast<std::uint32_t>(pt.x));
+    RecordWriter::push32(p, static_cast<std::uint32_t>(pt.y));
+  }
+  // GDSII closes boundaries explicitly by repeating the first point.
+  if (!contour.empty()) {
+    RecordWriter::push32(p, static_cast<std::uint32_t>(contour[0].x));
+    RecordWriter::push32(p, static_cast<std::uint32_t>(contour[0].y));
+  }
+  w.record(kXy, p);
+}
+
+void write_boundary(RecordWriter& w, LayerKey layer, const SimplePolygon& contour) {
+  w.record(kBoundary);
+  w.record(kLayer, i16_payload(layer.layer));
+  w.record(kDatatype, i16_payload(layer.datatype));
+  write_xy(w, contour);
+  w.record(kEndEl);
+}
+
+void write_transform(RecordWriter& w, const CTrans& t) {
+  const bool need_strans = t.mirror() || t.mag() != 1.0 || t.angle() != 0.0;
+  if (!need_strans) return;
+  std::vector<std::uint8_t> flags;
+  RecordWriter::push16(flags, t.mirror() ? 0x8000 : 0x0000);
+  w.record(kStrans, flags);
+  if (t.mag() != 1.0) {
+    std::vector<std::uint8_t> p;
+    RecordWriter::push64(p, gds_detail::to_gds_real(t.mag()));
+    w.record(kMag, p);
+  }
+  if (t.angle() != 0.0) {
+    std::vector<std::uint8_t> p;
+    RecordWriter::push64(p, gds_detail::to_gds_real(t.angle()));
+    w.record(kAngle, p);
+  }
+}
+
+}  // namespace
+
+namespace gds_detail {
+
+std::uint64_t to_gds_real(double value) {
+  if (value == 0.0) return 0;
+  std::uint64_t sign = 0;
+  if (value < 0) {
+    sign = 1ull << 63;
+    value = -value;
+  }
+  // Normalize mantissa into [1/16, 1) with base-16 exponent.
+  int exponent = 0;
+  while (value >= 1.0) {
+    value /= 16.0;
+    ++exponent;
+  }
+  while (value < 1.0 / 16.0) {
+    value *= 16.0;
+    --exponent;
+  }
+  const auto mantissa = static_cast<std::uint64_t>(std::ldexp(value, 56));
+  return sign | (static_cast<std::uint64_t>(exponent + 64) << 56) |
+         (mantissa & 0x00FFFFFFFFFFFFFFull);
+}
+
+double from_gds_real(std::uint64_t bits) {
+  if (bits == 0) return 0.0;
+  const bool negative = (bits >> 63) != 0;
+  const int exponent = static_cast<int>((bits >> 56) & 0x7F) - 64;
+  const auto mantissa = static_cast<double>(bits & 0x00FFFFFFFFFFFFFFull);
+  double value = std::ldexp(mantissa, -56) * std::pow(16.0, exponent);
+  return negative ? -value : value;
+}
+
+}  // namespace gds_detail
+
+void write_gds(const Library& lib, std::ostream& os) {
+  RecordWriter w(os);
+  w.record(kHeader, i16_payload(600));  // stream version 6
+  w.record(kBgnLib, timestamp_payload());
+  {
+    std::vector<std::uint8_t> p;
+    RecordWriter::push_string(p, lib.name());
+    w.record(kLibName, p);
+  }
+  {
+    // UNITS: size of one dbu in user units (user unit = 1 µm), then in
+    // meters.
+    std::vector<std::uint8_t> p;
+    RecordWriter::push64(p, gds_detail::to_gds_real(lib.dbu_in_microns()));
+    RecordWriter::push64(p, gds_detail::to_gds_real(lib.dbu_in_microns() * 1e-6));
+    w.record(kUnits, p);
+  }
+
+  for (std::size_t i = 0; i < lib.cell_count(); ++i) {
+    const Cell& c = lib.cell(CellId{static_cast<std::uint32_t>(i)});
+    expects(c.name().size() <= 126, "GDS: cell name too long");
+    w.record(kBgnStr, timestamp_payload());
+    {
+      std::vector<std::uint8_t> p;
+      RecordWriter::push_string(p, c.name());
+      w.record(kStrName, p);
+    }
+    for (const auto& [layer, polys] : c.shapes()) {
+      for (const Polygon& poly : polys) {
+        write_boundary(w, layer, poly.outer());
+        // GDSII has no hole concept: holes are written as separate
+        // boundaries on the same layer; the reader re-merges by winding
+        // when it runs booleans. (Keyholing is not needed for data prep.)
+        for (const auto& hole : poly.holes()) write_boundary(w, layer, hole);
+      }
+    }
+    for (const Reference& r : c.references()) {
+      const Cell& child = lib.cell(r.child);
+      if (r.is_array()) {
+        w.record(kAref);
+        std::vector<std::uint8_t> p;
+        RecordWriter::push_string(p, child.name());
+        w.record(kSname, p);
+        write_transform(w, r.trans);
+        p.clear();
+        RecordWriter::push16(p, static_cast<std::uint16_t>(r.cols));
+        RecordWriter::push16(p, static_cast<std::uint16_t>(r.rows));
+        w.record(kColRow, p);
+        p.clear();
+        const Point o = r.trans.disp();
+        const Point pc{static_cast<Coord>(o.x + Coord64(r.col_step.x) * r.cols),
+                       static_cast<Coord>(o.y + Coord64(r.col_step.y) * r.cols)};
+        const Point pr{static_cast<Coord>(o.x + Coord64(r.row_step.x) * r.rows),
+                       static_cast<Coord>(o.y + Coord64(r.row_step.y) * r.rows)};
+        for (const Point pt : {o, pc, pr}) {
+          RecordWriter::push32(p, static_cast<std::uint32_t>(pt.x));
+          RecordWriter::push32(p, static_cast<std::uint32_t>(pt.y));
+        }
+        w.record(kXy, p);
+        w.record(kEndEl);
+      } else {
+        w.record(kSref);
+        std::vector<std::uint8_t> p;
+        RecordWriter::push_string(p, child.name());
+        w.record(kSname, p);
+        write_transform(w, r.trans);
+        p.clear();
+        RecordWriter::push32(p, static_cast<std::uint32_t>(r.trans.disp().x));
+        RecordWriter::push32(p, static_cast<std::uint32_t>(r.trans.disp().y));
+        w.record(kXy, p);
+        w.record(kEndEl);
+      }
+    }
+    w.record(kEndStr);
+  }
+  w.record(kEndLib);
+}
+
+void write_gds(const Library& lib, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw DataError("cannot open for writing: " + path);
+  write_gds(lib, os);
+  if (!os) throw DataError("write failed: " + path);
+}
+
+Library read_gds(std::istream& is, GdsReadReport* report) {
+  RecordReader r(is);
+  GdsReadReport rep;
+
+  if (!r.next() || r.type() != kHeader) throw DataError("GDS: missing HEADER");
+  if (!r.next() || r.type() != kBgnLib) throw DataError("GDS: missing BGNLIB");
+  std::string libname = "LIB";
+  double dbu_um = 0.001;
+
+  // Pending references by child name (children may appear later in the file).
+  struct PendingRef {
+    CellId parent;
+    std::string child;
+    Reference ref;
+  };
+  std::vector<PendingRef> pending;
+
+  // First pass structures inline; resolve names at the end.
+  std::optional<Library> lib;
+  auto ensure_lib = [&]() -> Library& {
+    if (!lib) lib.emplace(libname, dbu_um);
+    return *lib;
+  };
+
+  std::optional<CellId> current;
+  bool done = false;
+  while (!done && r.next()) {
+    switch (r.type()) {
+      case kLibName:
+        libname = r.str();
+        break;
+      case kUnits: {
+        dbu_um = gds_detail::from_gds_real(r.u64(0));
+        if (dbu_um <= 0) throw DataError("GDS: invalid UNITS");
+        break;
+      }
+      case kBgnStr: {
+        current.reset();
+        break;
+      }
+      case kStrName: {
+        Library& l = ensure_lib();
+        const std::string name = r.str();
+        const auto existing = l.find_cell(name);
+        current = existing ? *existing : l.add_cell(name);
+        ++rep.structures;
+        break;
+      }
+      case kEndStr:
+        current.reset();
+        break;
+      case kBoundary: {
+        if (!current) throw DataError("GDS: BOUNDARY outside structure");
+        LayerKey layer{};
+        std::vector<Point> pts;
+        while (r.next() && r.type() != kEndEl) {
+          if (r.type() == kLayer) layer.layer = r.i16(0);
+          else if (r.type() == kDatatype) layer.datatype = r.i16(0);
+          else if (r.type() == kXy) {
+            const std::size_t n = r.payload().size() / 8;
+            for (std::size_t i = 0; i < n; ++i) {
+              pts.push_back({static_cast<Coord>(r.i32(i * 8)),
+                             static_cast<Coord>(r.i32(i * 8 + 4))});
+            }
+          }
+        }
+        if (pts.size() >= 4 && pts.front() == pts.back()) pts.pop_back();
+        if (pts.size() >= 3) {
+          ensure_lib().cell(*current).add_shape(layer, SimplePolygon{std::move(pts)});
+          ++rep.boundaries;
+        }
+        break;
+      }
+      case kSref:
+      case kAref: {
+        if (!current) throw DataError("GDS: reference outside structure");
+        const bool is_aref = r.type() == kAref;
+        std::string child;
+        bool mirror = false;
+        double mag = 1.0;
+        double angle = 0.0;
+        std::uint16_t cols = 1;
+        std::uint16_t rows = 1;
+        std::vector<Point> xy;
+        while (r.next() && r.type() != kEndEl) {
+          if (r.type() == kSname) child = r.str();
+          else if (r.type() == kStrans) mirror = (r.u16(0) & 0x8000) != 0;
+          else if (r.type() == kMag) mag = gds_detail::from_gds_real(r.u64(0));
+          else if (r.type() == kAngle) angle = gds_detail::from_gds_real(r.u64(0));
+          else if (r.type() == kColRow) {
+            cols = r.u16(0);
+            rows = r.u16(2);
+          } else if (r.type() == kXy) {
+            const std::size_t n = r.payload().size() / 8;
+            for (std::size_t i = 0; i < n; ++i) {
+              xy.push_back({static_cast<Coord>(r.i32(i * 8)),
+                            static_cast<Coord>(r.i32(i * 8 + 4))});
+            }
+          }
+        }
+        if (child.empty() || xy.empty()) throw DataError("GDS: incomplete reference");
+        Reference ref;
+        ref.trans = CTrans{xy[0], angle, mag, mirror};
+        if (is_aref) {
+          if (xy.size() != 3 || cols == 0 || rows == 0)
+            throw DataError("GDS: malformed AREF");
+          ref.cols = cols;
+          ref.rows = rows;
+          ref.col_step = {static_cast<Coord>((Coord64(xy[1].x) - xy[0].x) / cols),
+                          static_cast<Coord>((Coord64(xy[1].y) - xy[0].y) / cols)};
+          ref.row_step = {static_cast<Coord>((Coord64(xy[2].x) - xy[0].x) / rows),
+                          static_cast<Coord>((Coord64(xy[2].y) - xy[0].y) / rows)};
+          ++rep.arefs;
+        } else {
+          ++rep.srefs;
+        }
+        pending.push_back({*current, child, ref});
+        break;
+      }
+      case kPath:
+      case kText:
+      case kNode:
+      case kBoxEl: {
+        ++rep.skipped_elements;
+        while (r.next() && r.type() != kEndEl) {
+        }
+        break;
+      }
+      case kEndLib:
+        done = true;
+        break;
+      default:
+        break;  // unknown record: skip
+    }
+  }
+  if (!done) throw DataError("GDS: missing ENDLIB");
+
+  Library& l = ensure_lib();
+  for (auto& p : pending) {
+    const auto child = l.find_cell(p.child);
+    if (!child) throw DataError("GDS: reference to undefined structure " + p.child);
+    p.ref.child = *child;
+    l.cell(p.parent).add_reference(p.ref);
+  }
+  l.validate();
+  if (report) *report = rep;
+  return std::move(*lib);
+}
+
+Library read_gds(const std::string& path, GdsReadReport* report) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw DataError("cannot open for reading: " + path);
+  return read_gds(is, report);
+}
+
+}  // namespace ebl

@@ -1,0 +1,49 @@
+// GDSII stream format reader/writer.
+//
+// Supports the element set an e-beam data-prep flow needs: BOUNDARY,
+// SREF, AREF (with STRANS/MAG/ANGLE), multiple structures, big-endian
+// records, and 8-byte excess-64 floating point for UNITS/MAG/ANGLE.
+// PATH/TEXT/NODE/BOX elements are skipped on read (with a counter), never
+// written. This mirrors what 1979-era pattern-generation tapes carried:
+// polygon geometry plus hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "layout/library.h"
+
+namespace ebl {
+
+/// Result counters from a GDSII read.
+struct GdsReadReport {
+  std::size_t structures = 0;
+  std::size_t boundaries = 0;
+  std::size_t srefs = 0;
+  std::size_t arefs = 0;
+  std::size_t skipped_elements = 0;  ///< PATH/TEXT/NODE/BOX
+};
+
+/// Writes @p lib to @p path. Throws DataError on I/O failure or on cell
+/// names longer than GDSII permits (32 chars by the strict spec; this
+/// writer allows up to 126 and pads to even length).
+void write_gds(const Library& lib, const std::string& path);
+void write_gds(const Library& lib, std::ostream& os);
+
+/// Reads a GDSII file into a new Library. Unknown records are skipped;
+/// structural errors (truncated records, missing ENDLIB, forward references
+/// to undefined structures) throw DataError.
+Library read_gds(const std::string& path, GdsReadReport* report = nullptr);
+Library read_gds(std::istream& is, GdsReadReport* report = nullptr);
+
+namespace gds_detail {
+
+/// Converts to/from the GDSII 8-byte excess-64 base-16 real format.
+/// Exposed for unit testing.
+std::uint64_t to_gds_real(double value);
+double from_gds_real(std::uint64_t bits);
+
+}  // namespace gds_detail
+
+}  // namespace ebl

@@ -1,0 +1,35 @@
+// Layer/datatype addressing (GDSII convention).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace ebl {
+
+/// A GDSII layer-datatype pair. Exposure layers, dose layers, and derived
+/// layers are all addressed this way.
+struct LayerKey {
+  std::int16_t layer = 0;
+  std::int16_t datatype = 0;
+
+  friend constexpr bool operator==(LayerKey, LayerKey) = default;
+  friend constexpr auto operator<=>(LayerKey a, LayerKey b) {
+    if (auto c = a.layer <=> b.layer; c != 0) return c;
+    return a.datatype <=> b.datatype;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, LayerKey k) {
+    return os << k.layer << '/' << k.datatype;
+  }
+};
+
+struct LayerKeyHash {
+  std::size_t operator()(LayerKey k) const {
+    return std::hash<std::uint32_t>{}(
+        (static_cast<std::uint32_t>(static_cast<std::uint16_t>(k.layer)) << 16) |
+        static_cast<std::uint16_t>(k.datatype));
+  }
+};
+
+}  // namespace ebl

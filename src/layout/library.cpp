@@ -1,0 +1,175 @@
+#include "layout/library.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/contracts.h"
+
+namespace ebl {
+
+Library::Library(std::string name, double dbu_in_microns)
+    : name_(std::move(name)), dbu_um_(dbu_in_microns) {
+  expects(dbu_in_microns > 0, "Library: dbu must be positive");
+}
+
+CellId Library::add_cell(const std::string& cell_name) {
+  expects(!cell_name.empty(), "Library::add_cell: empty name");
+  if (find_cell(cell_name)) throw DataError("duplicate cell name: " + cell_name);
+  cells_.emplace_back(cell_name);
+  bbox_cache_.emplace_back();
+  return CellId{static_cast<std::uint32_t>(cells_.size() - 1)};
+}
+
+std::optional<CellId> Library::find_cell(const std::string& cell_name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name() == cell_name) return CellId{static_cast<std::uint32_t>(i)};
+  }
+  return std::nullopt;
+}
+
+void Library::check_id(CellId id) const {
+  expects(id.value < cells_.size(), "Library: invalid CellId");
+}
+
+Cell& Library::cell(CellId id) {
+  check_id(id);
+  bbox_cache_[id.value].reset();  // mutation invalidates the cache
+  return cells_[id.value];
+}
+
+const Cell& Library::cell(CellId id) const {
+  check_id(id);
+  return cells_[id.value];
+}
+
+std::vector<CellId> Library::top_cells() const {
+  std::vector<bool> referenced(cells_.size(), false);
+  for (const Cell& c : cells_) {
+    for (const Reference& r : c.references()) {
+      if (r.child.value < cells_.size()) referenced[r.child.value] = true;
+    }
+  }
+  std::vector<CellId> tops;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!referenced[i]) tops.push_back(CellId{static_cast<std::uint32_t>(i)});
+  }
+  return tops;
+}
+
+void Library::validate() const {
+  // DFS cycle detection with colors: 0 = new, 1 = on stack, 2 = done.
+  std::vector<int> color(cells_.size(), 0);
+  std::function<void(std::size_t)> dfs = [&](std::size_t i) {
+    color[i] = 1;
+    for (const Reference& r : cells_[i].references()) {
+      if (r.child.value >= cells_.size())
+        throw DataError("dangling cell reference in " + cells_[i].name());
+      if (color[r.child.value] == 1)
+        throw DataError("reference cycle through cell " + cells_[r.child.value].name());
+      if (color[r.child.value] == 0) dfs(r.child.value);
+    }
+    color[i] = 2;
+  };
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (color[i] == 0) dfs(i);
+  }
+}
+
+void Library::each_instance(
+    CellId top, const std::function<void(CellId, const CTrans&)>& visit) const {
+  check_id(top);
+  // Depth guard doubles as cheap cycle protection during traversal.
+  constexpr int kMaxDepth = 64;
+  std::function<void(CellId, const CTrans&, int)> walk = [&](CellId id, const CTrans& t,
+                                                             int depth) {
+    if (depth > kMaxDepth)
+      throw DataError("hierarchy deeper than " + std::to_string(kMaxDepth) +
+                      " (cycle?) under " + cells_[top.value].name());
+    visit(id, t);
+    for (const Reference& r : cells_[id.value].references()) {
+      check_id(r.child);
+      for (std::uint32_t row = 0; row < r.rows; ++row) {
+        for (std::uint32_t col = 0; col < r.cols; ++col) {
+          // GDSII AREF: steps displace in parent coordinates.
+          const Point shift{
+              static_cast<Coord>(Coord64(r.col_step.x) * col + Coord64(r.row_step.x) * row),
+              static_cast<Coord>(Coord64(r.col_step.y) * col + Coord64(r.row_step.y) * row)};
+          const CTrans placed =
+              CTrans{r.trans.disp() + shift, r.trans.angle(), r.trans.mag(),
+                     r.trans.mirror()};
+          walk(r.child, t * placed, depth + 1);
+        }
+      }
+    }
+  };
+  walk(top, CTrans{}, 0);
+}
+
+PolygonSet Library::flatten(CellId top, LayerKey layer) const {
+  PolygonSet out;
+  each_instance(top, [&](CellId id, const CTrans& t) {
+    for (const Polygon& p : cells_[id.value].shapes_on(layer)) {
+      out.insert(p.transformed(t));
+    }
+  });
+  return out;
+}
+
+std::vector<LayerKey> Library::layers_under(CellId top) const {
+  std::set<LayerKey> keys;
+  each_instance(top, [&](CellId id, const CTrans&) {
+    for (LayerKey k : cells_[id.value].layers()) keys.insert(k);
+  });
+  return {keys.begin(), keys.end()};
+}
+
+Box Library::bbox(CellId top) const {
+  check_id(top);
+  if (bbox_cache_[top.value]) return *bbox_cache_[top.value];
+  Box b = cells_[top.value].local_bbox();
+  for (const Reference& r : cells_[top.value].references()) {
+    check_id(r.child);
+    const Box child_box = bbox(r.child);
+    if (child_box.empty()) continue;
+    // Array steps are linear, so the union over the grid equals the union
+    // over the four corner instances.
+    const std::uint32_t corner_cols[2] = {0, r.cols - 1};
+    const std::uint32_t corner_rows[2] = {0, r.rows - 1};
+    for (std::uint32_t row : corner_rows) {
+      for (std::uint32_t col : corner_cols) {
+        const Point shift{
+            static_cast<Coord>(Coord64(r.col_step.x) * col + Coord64(r.row_step.x) * row),
+            static_cast<Coord>(Coord64(r.col_step.y) * col + Coord64(r.row_step.y) * row)};
+        const CTrans placed = CTrans{r.trans.disp() + shift, r.trans.angle(),
+                                     r.trans.mag(), r.trans.mirror()};
+        // Transform the child's box corners (conservative for rotations).
+        Box tb;
+        tb += placed(child_box.lo);
+        tb += placed(child_box.hi);
+        tb += placed(Point{child_box.lo.x, child_box.hi.y});
+        tb += placed(Point{child_box.hi.x, child_box.lo.y});
+        b += tb;
+      }
+    }
+  }
+  bbox_cache_[top.value] = b;
+  return b;
+}
+
+LibraryStats Library::stats(CellId top) const {
+  LibraryStats s;
+  s.cells = cells_.size();
+  for (const Cell& c : cells_) {
+    s.local_shapes += c.local_shape_count();
+    s.references += c.references().size();
+  }
+  each_instance(top, [&](CellId id, const CTrans&) {
+    s.flat_instances += 1;
+    s.flat_shapes += cells_[id.value].local_shape_count();
+  });
+  s.flat_instances -= 1;  // do not count the top cell itself
+  return s;
+}
+
+}  // namespace ebl

@@ -1,0 +1,113 @@
+#include "machine/distortion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace ebl {
+
+std::pair<double, double> DeflectionDistortion::displacement(double u, double v) const {
+  const double r2 = u * u + v * v;
+  const double dx = offset_x + scale_x * u - rotation * v + pincushion * u * r2 / 2.0;
+  const double dy = offset_y + scale_y * v + rotation * u + pincushion * v * r2 / 2.0;
+  return {dx, dy};
+}
+
+double max_stitching_error(const DeflectionDistortion& d, int samples) {
+  expects(samples >= 2, "max_stitching_error: need >= 2 samples");
+  double worst = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double v = -1.0 + 2.0 * i / (samples - 1);
+    // Right edge of field A (u=+1) butts left edge of field B (u=-1).
+    const auto [ax, ay] = d.displacement(1.0, v);
+    const auto [bx, by] = d.displacement(-1.0, v);
+    worst = std::max(worst, std::hypot(ax - bx, ay - by));
+    // Top edge (v=+1) butts bottom edge (v=-1) of the field above.
+    const auto [cx, cy] = d.displacement(v, 1.0);
+    const auto [dx2, dy2] = d.displacement(v, -1.0);
+    worst = std::max(worst, std::hypot(cx - dx2, cy - dy2));
+  }
+  return worst;
+}
+
+DeflectionDistortion calibrate_affine(const DeflectionDistortion& d, int n,
+                                      double noise_dbu, std::uint64_t seed) {
+  expects(n >= 2, "calibrate_affine: need >= 2x2 marks");
+  Rng rng(seed);
+
+  // Model dx = a0 + a1 u + a2 v, dy = b0 + b1 u + b2 v; normal equations
+  // with the design matrix [1, u, v].
+  double m[3][3] = {};
+  double rx[3] = {};
+  double ry[3] = {};
+  for (int iy = 0; iy < n; ++iy) {
+    for (int ix = 0; ix < n; ++ix) {
+      const double u = -1.0 + 2.0 * ix / (n - 1);
+      const double v = -1.0 + 2.0 * iy / (n - 1);
+      auto [dx, dy] = d.displacement(u, v);
+      if (noise_dbu > 0) {
+        dx += noise_dbu * rng.normal();
+        dy += noise_dbu * rng.normal();
+      }
+      const double phi[3] = {1.0, u, v};
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) m[a][b] += phi[a] * phi[b];
+        rx[a] += phi[a] * dx;
+        ry[a] += phi[a] * dy;
+      }
+    }
+  }
+
+  // Solve the two 3x3 systems by Gaussian elimination with partial pivoting.
+  const auto solve3 = [](double a[3][3], double r[3], double out[3]) {
+    double aug[3][4];
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) aug[i][j] = a[i][j];
+      aug[i][3] = r[i];
+    }
+    for (int col = 0; col < 3; ++col) {
+      int pivot = col;
+      for (int row = col + 1; row < 3; ++row) {
+        if (std::abs(aug[row][col]) > std::abs(aug[pivot][col])) pivot = row;
+      }
+      std::swap(aug[col], aug[pivot]);
+      ensures(std::abs(aug[col][col]) > 1e-12, "calibrate: singular normal matrix");
+      for (int row = 0; row < 3; ++row) {
+        if (row == col) continue;
+        const double f = aug[row][col] / aug[col][col];
+        for (int j = col; j < 4; ++j) aug[row][j] -= f * aug[col][j];
+      }
+    }
+    for (int i = 0; i < 3; ++i) out[i] = aug[i][3] / aug[i][i];
+  };
+
+  double cx[3];
+  double cy[3];
+  double mx[3][3];
+  double my[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      mx[i][j] = m[i][j];
+      my[i][j] = m[i][j];
+    }
+  }
+  solve3(mx, rx, cx);
+  solve3(my, ry, cy);
+
+  // Fitted affine: dx ~ cx0 + cx1 u + cx2 v ; dy ~ cy0 + cy1 u + cy2 v.
+  // The machine applies the inverse of the fit; the residual keeps the
+  // original nonlinearity minus the absorbed affine component.
+  DeflectionDistortion residual = d;
+  residual.offset_x -= cx[0];
+  residual.offset_y -= cy[0];
+  residual.scale_x -= cx[1];
+  residual.scale_y -= cy[2];
+  // rotation appears as -rot in dx/dv and +rot in dy/du; average the two
+  // estimates.
+  residual.rotation -= 0.5 * (cy[1] - cx[2]);
+  return residual;
+}
+
+}  // namespace ebl

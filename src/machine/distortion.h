@@ -1,0 +1,44 @@
+// Deflection distortion and field-stitching error.
+//
+// Electromagnetic deflection is not perfectly linear over the field: gain
+// (scale) error, axis rotation, and third-order pincushion bow the written
+// grid. When adjacent fields butt, the placement mismatch across the shared
+// edge is the stitching error. Machines calibrate the linear part against
+// registration marks; the pincushion residual is what remains.
+#pragma once
+
+#include <utility>
+
+#include "geom/box.h"
+
+namespace ebl {
+
+/// Displacement model over normalized field coordinates (u, v) in [-1, 1]²
+/// (u = 1 is the +x field edge). Units of the returned displacement: dbu.
+struct DeflectionDistortion {
+  double scale_x = 0.0;     ///< x gain error, dbu at the field edge
+  double scale_y = 0.0;     ///< y gain error, dbu at the field edge
+  double rotation = 0.0;    ///< rotation, dbu of skew at the field edge
+  double pincushion = 0.0;  ///< 3rd-order radial term, dbu at the corner
+  double offset_x = 0.0;    ///< constant placement offset, dbu
+  double offset_y = 0.0;
+
+  /// Displacement (dx, dy) at normalized position (u, v).
+  std::pair<double, double> displacement(double u, double v) const;
+};
+
+/// Maximum butting mismatch (dbu) across the shared edge of two adjacent
+/// fields that both exhibit @p d, sampled at @p samples points along the
+/// edge. Both x-butting and y-butting edges are checked.
+double max_stitching_error(const DeflectionDistortion& d, int samples = 33);
+
+/// Least-squares fit of the affine part (offset + scale + rotation) of @p d
+/// from an n x n grid of simulated registration-mark measurements with
+/// optional Gaussian measurement noise (dbu, reproducible via @p seed).
+/// Returns the residual distortion after subtracting the fit (affine terms
+/// near zero, pincushion untouched).
+DeflectionDistortion calibrate_affine(const DeflectionDistortion& d, int n = 5,
+                                      double noise_dbu = 0.0,
+                                      std::uint64_t seed = 42);
+
+}  // namespace ebl

@@ -1,0 +1,67 @@
+#include "machine/field.h"
+
+#include <map>
+
+#include "fracture/fracture.h"
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+Box pattern_bbox(const ShotList& shots) {
+  Box b;
+  for (const Shot& s : shots) b += s.shape.bbox();
+  return b;
+}
+
+}  // namespace
+
+std::vector<FieldJob> partition_fields(const ShotList& shots, Coord field_size) {
+  expects(field_size > 0, "partition_fields: field size must be positive");
+  const Box bb = pattern_bbox(shots);
+  if (bb.empty()) return {};
+
+  std::map<std::pair<Coord64, Coord64>, FieldJob> fields;
+  for (const Shot& s : shots) {
+    const Box sb = s.shape.bbox();
+    const Coord64 fx0 = (Coord64(sb.lo.x) - bb.lo.x) / field_size;
+    const Coord64 fx1 = (Coord64(sb.hi.x) - bb.lo.x) / field_size;
+    const Coord64 fy0 = (Coord64(sb.lo.y) - bb.lo.y) / field_size;
+    const Coord64 fy1 = (Coord64(sb.hi.y) - bb.lo.y) / field_size;
+    for (Coord64 fy = fy0; fy <= fy1; ++fy) {
+      for (Coord64 fx = fx0; fx <= fx1; ++fx) {
+        const Box frame{static_cast<Coord>(bb.lo.x + fx * field_size),
+                        static_cast<Coord>(bb.lo.y + fy * field_size),
+                        static_cast<Coord>(bb.lo.x + (fx + 1) * field_size),
+                        static_cast<Coord>(bb.lo.y + (fy + 1) * field_size)};
+        for (const Trapezoid& piece : clip_trapezoid(s.shape, frame)) {
+          auto& job = fields[{fx, fy}];
+          job.field = frame;
+          job.shots.push_back(Shot{piece, s.dose});
+        }
+      }
+    }
+  }
+
+  std::vector<FieldJob> out;
+  out.reserve(fields.size());
+  for (auto& [key, job] : fields) out.push_back(std::move(job));
+  return out;
+}
+
+std::size_t count_boundary_straddlers(const ShotList& shots, Coord field_size) {
+  expects(field_size > 0, "count_boundary_straddlers: field size must be positive");
+  const Box bb = pattern_bbox(shots);
+  std::size_t n = 0;
+  for (const Shot& s : shots) {
+    const Box sb = s.shape.bbox();
+    const Coord64 fx0 = (Coord64(sb.lo.x) - bb.lo.x) / field_size;
+    const Coord64 fx1 = (Coord64(sb.hi.x) - bb.lo.x) / field_size;
+    const Coord64 fy0 = (Coord64(sb.lo.y) - bb.lo.y) / field_size;
+    const Coord64 fy1 = (Coord64(sb.hi.y) - bb.lo.y) / field_size;
+    if (fx0 != fx1 || fy0 != fy1) ++n;
+  }
+  return n;
+}
+
+}  // namespace ebl

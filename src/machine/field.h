@@ -1,0 +1,29 @@
+// Exposure-field partitioning.
+//
+// Deflection reaches only a limited field; larger patterns are written as a
+// grid of fields with stage moves in between. Shots straddling a boundary
+// are clipped into per-field pieces (this is where stitching errors bite).
+#pragma once
+
+#include <vector>
+
+#include "fracture/shot.h"
+#include "geom/box.h"
+
+namespace ebl {
+
+struct FieldJob {
+  Box field;       ///< field frame in pattern coordinates
+  ShotList shots;  ///< shots clipped into the field
+};
+
+/// Splits @p shots over a regular grid of @p field_size x @p field_size
+/// fields anchored at the pattern bbox lower-left corner. Empty fields are
+/// omitted. Shot doses carry over to the clipped pieces.
+std::vector<FieldJob> partition_fields(const ShotList& shots, Coord field_size);
+
+/// Count of shots that were cut by field boundaries (each straddler counted
+/// once, however many pieces it produced).
+std::size_t count_boundary_straddlers(const ShotList& shots, Coord field_size);
+
+}  // namespace ebl

@@ -1,0 +1,131 @@
+#include "machine/ordering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+std::pair<double, double> centroid_of(const Trapezoid& t) {
+  return {0.25 * (double(t.xl0) + t.xr0 + t.xl1 + t.xr1),
+          0.5 * (double(t.y0) + t.y1)};
+}
+
+}  // namespace
+
+double total_travel(const ShotList& shots) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i < shots.size(); ++i) {
+    const auto [ax, ay] = centroid_of(shots[i - 1].shape);
+    const auto [bx, by] = centroid_of(shots[i].shape);
+    sum += std::hypot(bx - ax, by - ay);
+  }
+  return sum;
+}
+
+void order_serpentine(ShotList& shots, Coord swath_height) {
+  expects(swath_height > 0, "order_serpentine: swath height must be positive");
+  std::stable_sort(shots.begin(), shots.end(), [&](const Shot& a, const Shot& b) {
+    const auto [ax, ay] = centroid_of(a.shape);
+    const auto [bx, by] = centroid_of(b.shape);
+    const auto swath_a = static_cast<Coord64>(std::floor(ay / swath_height));
+    const auto swath_b = static_cast<Coord64>(std::floor(by / swath_height));
+    if (swath_a != swath_b) return swath_a < swath_b;
+    // Alternate sweep direction per swath.
+    const bool reverse = (swath_a % 2) != 0;
+    return reverse ? ax > bx : ax < bx;
+  });
+}
+
+void order_nearest_neighbor(ShotList& shots) {
+  if (shots.size() < 3) return;
+  const std::size_t n = shots.size();
+
+  // Bucket grid over centroids.
+  double min_x = std::numeric_limits<double>::max();
+  double min_y = min_x;
+  double max_x = -min_x;
+  double max_y = -min_x;
+  std::vector<std::pair<double, double>> c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = centroid_of(shots[i].shape);
+    min_x = std::min(min_x, c[i].first);
+    max_x = std::max(max_x, c[i].first);
+    min_y = std::min(min_y, c[i].second);
+    max_y = std::max(max_y, c[i].second);
+  }
+  const int grid = std::max(1, static_cast<int>(std::sqrt(double(n) / 2.0)));
+  const double cw = std::max((max_x - min_x) / grid, 1.0);
+  const double ch = std::max((max_y - min_y) / grid, 1.0);
+  std::vector<std::vector<std::uint32_t>> cells(static_cast<std::size_t>(grid) * grid);
+  const auto cell_of = [&](double x, double y) {
+    const int cx = std::clamp(static_cast<int>((x - min_x) / cw), 0, grid - 1);
+    const int cy = std::clamp(static_cast<int>((y - min_y) / ch), 0, grid - 1);
+    return static_cast<std::size_t>(cy) * grid + cx;
+  };
+  for (std::uint32_t i = 0; i < n; ++i) cells[cell_of(c[i].first, c[i].second)].push_back(i);
+
+  std::vector<char> used(n, 0);
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::uint32_t cur = 0;
+  used[0] = 1;
+  order.push_back(0);
+
+  for (std::size_t step = 1; step < n; ++step) {
+    const auto [px, py] = c[cur];
+    const int ccx = std::clamp(static_cast<int>((px - min_x) / cw), 0, grid - 1);
+    const int ccy = std::clamp(static_cast<int>((py - min_y) / ch), 0, grid - 1);
+    std::uint32_t best = UINT32_MAX;
+    double best_d = std::numeric_limits<double>::max();
+    // Expand ring by ring until a candidate is found and the ring distance
+    // exceeds the best candidate distance.
+    for (int ring = 0; ring < 2 * grid; ++ring) {
+      if (best != UINT32_MAX) {
+        const double ring_d = (ring - 1) * std::min(cw, ch);
+        if (ring_d > 0 && ring_d * ring_d > best_d) break;
+      }
+      bool any_cell = false;
+      for (int dy = -ring; dy <= ring; ++dy) {
+        for (int dx = -ring; dx <= ring; ++dx) {
+          if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;  // ring only
+          const int x = ccx + dx;
+          const int y = ccy + dy;
+          if (x < 0 || y < 0 || x >= grid || y >= grid) continue;
+          any_cell = true;
+          for (const std::uint32_t i : cells[static_cast<std::size_t>(y) * grid + x]) {
+            if (used[i]) continue;
+            const double ddx = c[i].first - px;
+            const double ddy = c[i].second - py;
+            const double d = ddx * ddx + ddy * ddy;
+            if (d < best_d) {
+              best_d = d;
+              best = i;
+            }
+          }
+        }
+      }
+      if (!any_cell && ring >= grid) break;
+    }
+    ensures(best != UINT32_MAX, "nearest-neighbor ordering lost a shot");
+    used[best] = 1;
+    order.push_back(best);
+    cur = best;
+  }
+
+  ShotList reordered;
+  reordered.reserve(n);
+  for (const std::uint32_t i : order) reordered.push_back(shots[i]);
+  shots = std::move(reordered);
+}
+
+double deflection_settle_time(const ShotList& shots, double settle_s_per_um,
+                              double floor_s_per_figure) {
+  return total_travel(shots) / 1000.0 * settle_s_per_um +
+         static_cast<double>(shots.size()) * floor_s_per_figure;
+}
+
+}  // namespace ebl

@@ -1,0 +1,33 @@
+// Shot-ordering optimization for vector-scan writers.
+//
+// A vector machine pays deflection settling proportional to the jump length
+// between consecutive figures. Data-prep therefore orders shots to keep
+// jumps short. Two classic orders:
+//   - serpentine: sort into horizontal swaths, alternating sweep direction;
+//   - greedy nearest-neighbor within a bucket grid.
+// Both are O(n log n)-ish and reduce total deflection travel by large
+// factors on scattered data.
+#pragma once
+
+#include "fracture/shot.h"
+
+namespace ebl {
+
+/// Total centroid-to-centroid travel of the shot order, in dbu.
+double total_travel(const ShotList& shots);
+
+/// Reorders shots into a serpentine swath order (swath height in dbu).
+void order_serpentine(ShotList& shots, Coord swath_height);
+
+/// Reorders shots greedily: repeatedly jump to the nearest unvisited shot
+/// (bucketed search). Better travel than serpentine on clustered data,
+/// slower to compute.
+void order_nearest_neighbor(ShotList& shots);
+
+/// Vector-scan settle model: time = settle_per_um * travel_um summed over
+/// jumps, plus a fixed floor per figure. Complements the constant-settle
+/// model in writer.h for ordering studies.
+double deflection_settle_time(const ShotList& shots, double settle_s_per_um,
+                              double floor_s_per_figure);
+
+}  // namespace ebl

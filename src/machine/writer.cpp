@@ -1,0 +1,115 @@
+#include "machine/writer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+constexpr double kNm2ToCm2 = 1e-14;
+constexpr double kNaToA = 1e-9;
+constexpr double kUcToC = 1e-6;
+
+// Seconds to deliver dose D (µC/cm²) to one pixel of side p (nm) with beam
+// current I (nA).
+double dose_limited_pixel_time(double dose_uc_cm2, double pixel_nm, double current_na) {
+  const double area_cm2 = pixel_nm * pixel_nm * kNm2ToCm2;
+  return dose_uc_cm2 * kUcToC * area_cm2 / (current_na * kNaToA);
+}
+
+}  // namespace
+
+WriteJob make_write_job(const ShotList& shots, const Box& extent) {
+  WriteJob job;
+  job.extent = extent;
+  for (const Shot& s : shots) {
+    if (extent.empty()) job.extent += s.shape.bbox();
+    const double a = s.shape.area();
+    job.exposed_area += a;
+    job.charge_area += a * s.dose;
+  }
+  job.figures = shots.size();
+  return job;
+}
+
+RasterScanWriter::RasterScanWriter(RasterScanParams params) : p_(params) {
+  expects(p_.pixel_nm > 0 && p_.max_pixel_rate_hz > 0, "raster: bad params");
+  expects(p_.beam_current_na > 0 && p_.base_dose_uc_cm2 > 0, "raster: bad params");
+}
+
+double RasterScanWriter::pixel_rate_hz() const {
+  const double dose_rate =
+      1.0 / dose_limited_pixel_time(p_.base_dose_uc_cm2, p_.pixel_nm, p_.beam_current_na);
+  return std::min(p_.max_pixel_rate_hz, dose_rate);
+}
+
+WriteTime RasterScanWriter::write_time(const WriteJob& job) const {
+  WriteTime t;
+  if (job.extent.empty()) return t;
+  // Every address pixel of the frame is clocked, exposed or not.
+  const double frame_pixels =
+      static_cast<double>(job.extent.width()) * static_cast<double>(job.extent.height()) /
+      (p_.pixel_nm * p_.pixel_nm);
+  t.exposure_s = frame_pixels / pixel_rate_hz();
+  const double stripes =
+      std::ceil(static_cast<double>(job.extent.height()) / p_.stripe_height_nm);
+  t.stage_s = stripes * p_.stripe_turnaround_s;
+  return t;
+}
+
+VectorScanWriter::VectorScanWriter(VectorScanParams params) : p_(params) {
+  expects(p_.pixel_nm > 0 && p_.max_pixel_rate_hz > 0, "vector: bad params");
+  expects(p_.beam_current_na > 0 && p_.base_dose_uc_cm2 > 0, "vector: bad params");
+}
+
+double VectorScanWriter::pixel_rate_hz() const {
+  const double dose_rate =
+      1.0 / dose_limited_pixel_time(p_.base_dose_uc_cm2, p_.pixel_nm, p_.beam_current_na);
+  return std::min(p_.max_pixel_rate_hz, dose_rate);
+}
+
+WriteTime VectorScanWriter::write_time(const WriteJob& job) const {
+  WriteTime t;
+  if (job.extent.empty()) return t;
+  // Only exposed pixels are visited; dose-weighted area pays proportionally
+  // more beam time (per-figure dose scaling slows the clock locally).
+  const double exposed_pixels = job.charge_area / (p_.pixel_nm * p_.pixel_nm);
+  t.exposure_s = exposed_pixels / pixel_rate_hz();
+  t.overhead_s = static_cast<double>(job.figures) * p_.figure_settle_s;
+  const double fields_x =
+      std::ceil(static_cast<double>(job.extent.width()) / p_.field_size_nm);
+  const double fields_y =
+      std::ceil(static_cast<double>(job.extent.height()) / p_.field_size_nm);
+  t.stage_s = fields_x * fields_y * p_.stage_move_s;
+  return t;
+}
+
+VsbWriter::VsbWriter(VsbParams params) : p_(params) {
+  expects(p_.current_density_a_cm2 > 0 && p_.base_dose_uc_cm2 > 0, "vsb: bad params");
+}
+
+double VsbWriter::flash_time_s(double relative_dose) const {
+  const double t = relative_dose * p_.base_dose_uc_cm2 * kUcToC / p_.current_density_a_cm2;
+  return std::max(t, p_.min_flash_s);
+}
+
+WriteTime VsbWriter::write_time(const WriteJob& job) const {
+  WriteTime t;
+  if (job.extent.empty()) return t;
+  // Flash time is independent of shot area: dose / current density. The
+  // mean relative dose is charge_area / exposed_area.
+  const double mean_dose =
+      job.exposed_area > 0 ? job.charge_area / job.exposed_area : 1.0;
+  t.exposure_s = static_cast<double>(job.figures) * flash_time_s(mean_dose);
+  t.overhead_s = static_cast<double>(job.figures) * p_.shot_overhead_s;
+  const double fields_x =
+      std::ceil(static_cast<double>(job.extent.width()) / p_.field_size_nm);
+  const double fields_y =
+      std::ceil(static_cast<double>(job.extent.height()) / p_.field_size_nm);
+  t.stage_s = fields_x * fields_y * p_.stage_move_s;
+  return t;
+}
+
+}  // namespace ebl

@@ -1,0 +1,118 @@
+// E-beam writer timing models.
+//
+// The three machine architectures the 1979 tutorial compares:
+//  - Raster scan (MEBES style): the beam sweeps EVERY address pixel of the
+//    frame at a fixed clock, blanked over unexposed area. Write time is
+//    pattern-independent for a given frame.
+//  - Vector scan (Gaussian beam): the beam visits only the exposed figures
+//    pixel by pixel, paying a settling time per figure.
+//  - Variable-shaped beam (VSB): one flash exposes a whole trapezoid shot;
+//    flash time is dose/current-density, so write time scales with shot
+//    count, not area.
+//
+// Units: lengths in dbu (1 nm), currents in nA, current density in A/cm²,
+// dose in µC/cm², times in seconds.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fracture/shot.h"
+#include "geom/box.h"
+
+namespace ebl {
+
+/// Aggregate workload description handed to a writer model.
+struct WriteJob {
+  Box extent;                  ///< frame that must be covered, dbu
+  double exposed_area = 0.0;   ///< dbu²
+  double charge_area = 0.0;    ///< dose-weighted area, dbu² (PEC raises this)
+  std::size_t figures = 0;     ///< shot/figure count
+};
+
+/// Builds a WriteJob from a shot list (extent = shot bbox unless given).
+WriteJob make_write_job(const ShotList& shots, const Box& extent = {});
+
+/// Decomposed write-time estimate.
+struct WriteTime {
+  double exposure_s = 0.0;  ///< beam-on (or clocked-pixel) time
+  double overhead_s = 0.0;  ///< figure settling / shot overhead
+  double stage_s = 0.0;     ///< stage movement / stripe turnaround
+  double total() const { return exposure_s + overhead_s + stage_s; }
+};
+
+/// Common interface so benches can sweep machines uniformly.
+class WriterModel {
+ public:
+  virtual ~WriterModel() = default;
+  virtual std::string name() const = 0;
+  virtual WriteTime write_time(const WriteJob& job) const = 0;
+};
+
+/// Raster-scan machine (MEBES-like).
+struct RasterScanParams {
+  double pixel_nm = 100.0;           ///< address structure
+  double max_pixel_rate_hz = 40e6;   ///< blanker clock ceiling
+  double beam_current_na = 400.0;
+  double base_dose_uc_cm2 = 1.0;
+  double stripe_height_nm = 65536.0; ///< one stage stripe
+  double stripe_turnaround_s = 0.05;
+};
+
+class RasterScanWriter final : public WriterModel {
+ public:
+  explicit RasterScanWriter(RasterScanParams params = {});
+  std::string name() const override { return "raster"; }
+  WriteTime write_time(const WriteJob& job) const override;
+  /// Effective pixel rate: dose-limited or clock-limited.
+  double pixel_rate_hz() const;
+
+ private:
+  RasterScanParams p_;
+};
+
+/// Vector-scan Gaussian-beam machine.
+struct VectorScanParams {
+  double pixel_nm = 50.0;
+  double max_pixel_rate_hz = 20e6;
+  double beam_current_na = 100.0;
+  double base_dose_uc_cm2 = 1.0;
+  double figure_settle_s = 5e-6;     ///< deflector settling per figure
+  double field_size_nm = 1.0e6;      ///< deflection field
+  double stage_move_s = 0.2;         ///< per field
+};
+
+class VectorScanWriter final : public WriterModel {
+ public:
+  explicit VectorScanWriter(VectorScanParams params = {});
+  std::string name() const override { return "vector"; }
+  WriteTime write_time(const WriteJob& job) const override;
+  double pixel_rate_hz() const;
+
+ private:
+  VectorScanParams p_;
+};
+
+/// Variable-shaped-beam machine.
+struct VsbParams {
+  double current_density_a_cm2 = 20.0;
+  double base_dose_uc_cm2 = 2.0;
+  double shot_overhead_s = 0.5e-6;   ///< blanking + shaping per shot
+  double min_flash_s = 0.1e-6;
+  double field_size_nm = 0.5e6;
+  double stage_move_s = 0.05;
+};
+
+class VsbWriter final : public WriterModel {
+ public:
+  explicit VsbWriter(VsbParams params = {});
+  std::string name() const override { return "vsb"; }
+  WriteTime write_time(const WriteJob& job) const override;
+  /// Flash time for a relative dose (dose 1.0 = base dose).
+  double flash_time_s(double relative_dose) const;
+
+ private:
+  VsbParams p_;
+};
+
+}  // namespace ebl

@@ -1,0 +1,116 @@
+#include "pec/correction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/raster.h"
+#include "util/contracts.h"
+
+namespace ebl {
+
+PecResult correct_proximity(const ShotList& shots, const Psf& psf,
+                            const PecOptions& options) {
+  expects(!shots.empty(), "correct_proximity: empty shot list");
+  expects(options.target > 0, "correct_proximity: target must be positive");
+  expects(options.max_iterations > 0, "correct_proximity: need >= 1 iteration");
+
+  ExposureEvaluator eval(shots, psf, options.exposure);
+  std::vector<double> doses(shots.size());
+  for (std::size_t i = 0; i < shots.size(); ++i) doses[i] = shots[i].dose;
+
+  PecResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const std::vector<double> e = eval.exposures_at_centroids();
+    double max_err = 0.0;
+    for (double ei : e) max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
+    result.max_error_history.push_back(max_err);
+    result.iterations = iter;
+    if (max_err < options.tolerance) break;
+
+    for (std::size_t i = 0; i < doses.size(); ++i) {
+      const double ratio = options.target / std::max(e[i], 1e-9);
+      doses[i] = std::clamp(doses[i] * std::pow(ratio, options.damping),
+                            options.min_dose, options.max_dose);
+    }
+    eval.set_doses(doses);
+  }
+
+  result.shots = eval.shots();
+  if (options.dose_classes > 0) quantize_doses(result.shots, options.dose_classes);
+
+  // Final error with the delivered (possibly quantized) doses.
+  ExposureEvaluator final_eval(result.shots, psf, options.exposure);
+  double max_err = 0.0;
+  for (double ei : final_eval.exposures_at_centroids())
+    max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
+  result.final_max_error = max_err;
+  return result;
+}
+
+PecResult density_pec(const ShotList& shots, const Psf& psf, const PecOptions& options) {
+  expects(!shots.empty(), "density_pec: empty shot list");
+
+  // eta = backscattered fraction / forward fraction, taking the
+  // longest-range term as "backscatter".
+  double max_sigma = 0.0;
+  for (const PsfTerm& t : psf.terms()) max_sigma = std::max(max_sigma, t.sigma);
+  double wb = 0.0;
+  double wf = 0.0;
+  for (const PsfTerm& t : psf.terms()) (t.sigma == max_sigma ? wb : wf) += t.weight;
+  const double eta = wf > 0 ? wb / wf : 0.0;
+
+  // Blurred pattern density at the backscatter range.
+  Box frame;
+  for (const Shot& s : shots) frame += s.shape.bbox();
+  const Coord margin = static_cast<Coord>(std::ceil(4.0 * max_sigma));
+  const Coord pixel = std::max<Coord>(1, static_cast<Coord>(max_sigma / 4.0));
+  Raster density(frame.bloated(margin), pixel);
+  for (const Shot& s : shots) density.add_coverage(s.shape, 1.0);
+  gaussian_blur(density, max_sigma);
+
+  PecResult result;
+  result.shots = shots;
+  for (Shot& s : result.shots) {
+    const Trapezoid& t = s.shape;
+    const double cx = 0.25 * (double(t.xl0) + t.xr0 + t.xl1 + t.xr1);
+    const double cy = 0.5 * (double(t.y0) + t.y1);
+    const auto [ix, iy] = density.index_of(
+        Point{static_cast<Coord>(std::lround(cx)), static_cast<Coord>(std::lround(cy))});
+    const double u = std::clamp(density.at(ix, iy), 0.0, 1.0);
+    const double dose = (1.0 + 2.0 * eta) / (1.0 + 2.0 * eta * u);
+    s.dose = std::clamp(dose * options.target, options.min_dose, options.max_dose);
+  }
+  if (options.dose_classes > 0) quantize_doses(result.shots, options.dose_classes);
+
+  ExposureEvaluator eval(result.shots, psf, options.exposure);
+  double max_err = 0.0;
+  for (double ei : eval.exposures_at_centroids())
+    max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
+  result.final_max_error = max_err;
+  result.iterations = 1;
+  result.max_error_history.push_back(max_err);
+  return result;
+}
+
+int quantize_doses(ShotList& shots, int classes) {
+  expects(classes >= 1, "quantize_doses: classes must be >= 1");
+  if (shots.empty()) return 0;
+  double lo = shots.front().dose;
+  double hi = lo;
+  for (const Shot& s : shots) {
+    lo = std::min(lo, s.dose);
+    hi = std::max(hi, s.dose);
+  }
+  if (hi <= lo) return 1;
+  std::vector<bool> used(static_cast<std::size_t>(classes), false);
+  for (Shot& s : shots) {
+    const double f = (s.dose - lo) / (hi - lo);
+    int k = static_cast<int>(std::lround(f * (classes - 1)));
+    k = std::clamp(k, 0, classes - 1);
+    s.dose = lo + (hi - lo) * k / std::max(1, classes - 1);
+    used[static_cast<std::size_t>(k)] = true;
+  }
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+}  // namespace ebl

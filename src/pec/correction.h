@@ -1,0 +1,71 @@
+// Proximity-effect correction by dose modulation.
+//
+// Two correctors:
+//  - correct_proximity: the self-consistent iterative scheme (per-shot dose,
+//    Jacobi iteration on representative points). This is the accurate,
+//    shape-based method.
+//  - density_pec: the cheap geometry-density method: dose from the local
+//    backscatter-blurred pattern density via the closed-form equalization
+//    formula d(u) = (1 + 2 eta) / (1 + 2 eta u). One raster, no iteration.
+//
+// Both can quantize the continuous dose into a fixed number of machine dose
+// classes.
+#pragma once
+
+#include <vector>
+
+#include "fracture/shot.h"
+#include "pec/exposure.h"
+#include "pec/psf.h"
+
+namespace ebl {
+
+struct PecOptions {
+  int max_iterations = 10;
+
+  /// Stop when the max relative exposure error at representative points
+  /// drops below this.
+  double tolerance = 0.01;
+
+  /// Target in-pattern exposure (relative to unit-dose infinite pattern).
+  double target = 1.0;
+
+  /// Jacobi damping factor (1 = undamped).
+  double damping = 1.0;
+
+  /// Dose clamp (machines have a finite dose range).
+  double min_dose = 0.1;
+  double max_dose = 8.0;
+
+  /// If > 0, final doses snap to this many discrete classes spanning
+  /// [min observed, max observed] (machine dose-class granularity).
+  int dose_classes = 0;
+
+  ExposureOptions exposure;
+};
+
+struct PecResult {
+  ShotList shots;                        ///< same geometry, corrected doses
+  std::vector<double> max_error_history; ///< max |E/target - 1| per iteration
+  int iterations = 0;
+  double final_max_error = 0.0;
+};
+
+/// Iterative self-consistent dose correction. The exposure at each shot's
+/// centroid is driven to options.target by multiplicative Jacobi updates:
+///   d_i <- d_i * (target / E_i)^damping
+PecResult correct_proximity(const ShotList& shots, const Psf& psf,
+                            const PecOptions& options = {});
+
+/// Geometry-density PEC: one blurred-coverage raster at the backscatter
+/// range; each shot's dose is d(u) = (1 + 2 eta) / (1 + 2 eta u(centroid)),
+/// where u is the blurred local density. @p eta is inferred from the PSF
+/// (weight ratio of the longest-range term to the rest).
+PecResult density_pec(const ShotList& shots, const Psf& psf,
+                      const PecOptions& options = {});
+
+/// Snaps doses to @p classes discrete values spanning [min_dose, max_dose]
+/// of the observed range. Returns the number of distinct values used.
+int quantize_doses(ShotList& shots, int classes);
+
+}  // namespace ebl

@@ -1,0 +1,54 @@
+// Full-field exposure simulation: shots -> energy map -> resist profile.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fracture/shot.h"
+#include "geom/raster.h"
+#include "pec/psf.h"
+#include "sim/resist.h"
+
+namespace ebl {
+
+struct SimOptions {
+  /// Simulation pixel in dbu; must resolve the forward range (<= alpha/2
+  /// recommended). 0 = auto (psf.min_sigma() / 2, at least 1).
+  Coord pixel = 0;
+
+  /// Extra frame margin in dbu beyond the pattern bbox; 0 = auto
+  /// (4 * max sigma).
+  Coord margin = 0;
+};
+
+/// Energy deposition map of a dosed shot list: coverage rasterization of the
+/// dose followed by one separable Gaussian convolution per PSF term.
+/// Normalization: infinite unit-dose pattern -> exposure 1.0.
+Raster simulate_exposure(const ShotList& shots, const Psf& psf,
+                         const SimOptions& options = {});
+
+/// Applies a resist curve pixel-wise: exposure map -> thickness map [0,1].
+Raster develop(const Raster& exposure, const ResistModel& resist);
+
+/// Samples the raster along segment a->b (bilinear), returning n values.
+std::vector<double> profile_along(const Raster& raster, Point a, Point b, int n);
+
+/// All level-crossing positions (in dbu from a) of the bilinear profile
+/// along a->b.
+std::vector<double> crossings_along(const Raster& raster, double level, Point a,
+                                    Point b, int samples = 512);
+
+/// Critical dimension: distance between the first rising and last falling
+/// crossing of @p level along a->b; nullopt when the feature does not print
+/// or does not clear.
+std::optional<double> measure_cd(const Raster& exposure, double level, Point a,
+                                 Point b, int samples = 512);
+
+/// One closed or open develop-contour polyline in dbu coordinates.
+using ContourLine = std::vector<std::pair<double, double>>;
+
+/// Marching-squares iso-contours of the raster at @p level, with linear
+/// interpolation along cell edges and segment stitching into polylines.
+std::vector<ContourLine> extract_contours(const Raster& raster, double level);
+
+}  // namespace ebl

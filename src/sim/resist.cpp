@@ -1,0 +1,25 @@
+#include "sim/resist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ebl {
+
+double ContrastResist::thickness(double exposure) const {
+  if (exposure <= 0) return 0.0;
+  return std::clamp(gamma_ * std::log10(exposure / e0_), 0.0, 1.0);
+}
+
+double ContrastResist::print_threshold() const {
+  // thickness = 0.5 at E = E0 * 10^(0.5/gamma).
+  return e0_ * std::pow(10.0, 0.5 / gamma_);
+}
+
+double ContrastResist::saturation() const { return e0_ * std::pow(10.0, 1.0 / gamma_); }
+
+double ContrastResist::exposure_for_thickness(double t) const {
+  expects(t >= 0.0 && t <= 1.0, "exposure_for_thickness: t in [0,1]");
+  return e0_ * std::pow(10.0, t / gamma_);
+}
+
+}  // namespace ebl

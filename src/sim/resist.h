@@ -1,0 +1,76 @@
+// Resist response models.
+//
+// The data-prep abstraction of resist chemistry: a curve mapping absorbed
+// exposure (dose-normalized energy density) to remaining resist thickness
+// after development. Two standard models:
+//  - ThresholdResist: ideal infinite-contrast step at a dose-to-clear.
+//  - ContrastResist: the log-linear contrast curve t = gamma*log10(E/E0)
+//    clamped to [0,1] — the model grayscale lithography relies on.
+// Both are written for negative resists (exposed material remains, as in
+// the classic e-beam flows); positive() flips the sense.
+#pragma once
+
+#include <memory>
+
+#include "util/contracts.h"
+
+namespace ebl {
+
+/// Interface: exposure -> remaining relative thickness in [0, 1].
+class ResistModel {
+ public:
+  virtual ~ResistModel() = default;
+
+  /// Remaining thickness fraction after development.
+  virtual double thickness(double exposure) const = 0;
+
+  /// Exposure at which thickness crosses 0.5 (the printing threshold used
+  /// for CD measurement).
+  virtual double print_threshold() const = 0;
+
+  /// True when the given exposure leaves resist (prints, negative sense).
+  bool prints(double exposure) const { return thickness(exposure) >= 0.5; }
+};
+
+/// Ideal step resist: nothing below threshold, full film at or above.
+class ThresholdResist final : public ResistModel {
+ public:
+  explicit ThresholdResist(double threshold) : threshold_(threshold) {
+    expects(threshold > 0, "ThresholdResist: threshold must be positive");
+  }
+  double thickness(double exposure) const override {
+    return exposure >= threshold_ ? 1.0 : 0.0;
+  }
+  double print_threshold() const override { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+/// Log-linear contrast curve: t = clamp(gamma * log10(E / E0), 0, 1).
+/// E0 is the dose-to-gel (onset); full thickness at E0 * 10^(1/gamma).
+class ContrastResist final : public ResistModel {
+ public:
+  ContrastResist(double gamma, double onset_exposure)
+      : gamma_(gamma), e0_(onset_exposure) {
+    expects(gamma > 0, "ContrastResist: gamma must be positive");
+    expects(onset_exposure > 0, "ContrastResist: onset must be positive");
+  }
+
+  double thickness(double exposure) const override;
+  double print_threshold() const override;
+
+  double gamma() const { return gamma_; }
+  double onset() const { return e0_; }
+  /// Exposure that yields full thickness.
+  double saturation() const;
+
+  /// Exposure needed for a given target thickness fraction (inverse curve).
+  double exposure_for_thickness(double t) const;
+
+ private:
+  double gamma_;
+  double e0_;
+};
+
+}  // namespace ebl

@@ -1,0 +1,33 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Violations throw, so tests can assert on them and
+// library users get a diagnosable error instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ebl {
+
+/// Thrown when a precondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when input data (files, records) is malformed.
+class DataError : public std::runtime_error {
+ public:
+  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition check: call at entry of public functions.
+inline void expects(bool cond, const char* msg) {
+  if (!cond) throw ContractViolation(std::string("precondition failed: ") + msg);
+}
+
+/// Postcondition / internal invariant check.
+inline void ensures(bool cond, const char* msg) {
+  if (!cond) throw ContractViolation(std::string("invariant failed: ") + msg);
+}
+
+}  // namespace ebl

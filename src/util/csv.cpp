@@ -1,0 +1,36 @@
+#include "util/csv.h"
+
+#include "util/contracts.h"
+
+namespace ebl {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw DataError("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  expects(!wrote_header_, "CsvWriter::header called twice");
+  wrote_header_ = true;
+  write_row(names);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace ebl

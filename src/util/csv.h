@@ -1,0 +1,46 @@
+// Small CSV writer used by benches and examples to dump experiment data in a
+// form that plotting scripts can consume directly.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ebl {
+
+/// Streams rows of comma-separated values to a file. Values are formatted
+/// with operator<<; strings containing commas or quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens @p path for writing; throws DataError on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row. Call at most once, before any row().
+  void header(const std::vector<std::string>& names);
+
+  /// Appends one row; each argument becomes one cell.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> v;
+    (v.push_back(format(cells)), ...);
+    write_row(v);
+  }
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  template <typename T>
+  static std::string format(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  bool wrote_header_ = false;
+};
+
+}  // namespace ebl

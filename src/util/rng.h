@@ -1,0 +1,37 @@
+// Deterministic random number generation for workload generators.
+// A fixed, documented algorithm (splitmix64 seeding + xoshiro256**) keeps
+// benchmark workloads byte-identical across platforms and standard-library
+// versions, unlike std::mt19937 + std::uniform_* whose mapping is unspecified.
+#pragma once
+
+#include <cstdint>
+
+namespace ebl {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller, deterministic).
+  double normal();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ebl

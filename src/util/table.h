@@ -1,0 +1,46 @@
+// Console table printer. The bench harness uses it to print the rows/series
+// of each reconstructed table/figure in a paper-like layout.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ebl {
+
+/// Collects rows of cells and prints them as an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void columns(const std::vector<std::string>& names);
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> v;
+    (v.push_back(format(cells)), ...);
+    rows_.push_back(std::move(v));
+  }
+
+  /// Prints the table to @p os with column alignment and a rule under the
+  /// header.
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  template <typename T>
+  static std::string format(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision — convenience for Table::row.
+std::string fixed(double value, int digits = 3);
+
+}  // namespace ebl

@@ -1,0 +1,155 @@
+// Unit tests for the basic geometry types: Point, Box, Edge, Trans.
+#include <gtest/gtest.h>
+
+#include "geom/box.h"
+#include "geom/edge.h"
+#include "geom/point.h"
+#include "geom/transform.h"
+
+namespace ebl {
+namespace {
+
+TEST(Point, ArithmeticAndOrder) {
+  const Point a{3, 4};
+  const Point b{-1, 2};
+  EXPECT_EQ(a + b, Point(2, 6));
+  EXPECT_EQ(a - b, Point(4, 2));
+  EXPECT_EQ(-a, Point(-3, -4));
+  EXPECT_LT(Point(5, 1), Point(0, 2));  // scanline order: y first
+  EXPECT_LT(Point(1, 2), Point(3, 2));
+}
+
+TEST(Point, CrossSignGivesOrientation) {
+  EXPECT_GT(cross({0, 0}, {1, 0}, {0, 1}), 0);  // left turn
+  EXPECT_LT(cross({0, 0}, {0, 1}, {1, 0}), 0);  // right turn
+  EXPECT_EQ(cross({0, 0}, {1, 1}, {2, 2}), 0);  // collinear
+}
+
+TEST(Point, CrossNoOverflowAtExtremes) {
+  const Coord big = 2'000'000'000;
+  // (2b)*(2b) ~ 1.6e19 > int64 max; must be exact in Wide.
+  const Wide c = cross({-big, -big}, {big, -big}, {-big, big});
+  EXPECT_GT(c, 0);
+  const Wide expected = Wide(4) * big * big;  // base * height of the turn
+  EXPECT_EQ(c, expected);
+}
+
+TEST(Box, EmptyAndGrow) {
+  Box b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.area(), 0);
+  b += Point{2, 3};
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.width(), 0);
+  b += Point{-1, 5};
+  EXPECT_EQ(b, Box(-1, 3, 2, 5));
+  EXPECT_EQ(b.area(), Wide(6));
+}
+
+TEST(Box, IntersectionAndContainment) {
+  const Box a{0, 0, 10, 10};
+  const Box b{5, 5, 15, 15};
+  EXPECT_EQ(a & b, Box(5, 5, 10, 10));
+  EXPECT_TRUE(a.touches(b));
+  EXPECT_TRUE(a.contains(Point{0, 0}));
+  EXPECT_TRUE(a.contains(Point{10, 10}));
+  EXPECT_FALSE(a.contains(Point{11, 10}));
+  EXPECT_TRUE((a & Box{20, 20, 30, 30}).empty());
+}
+
+TEST(Box, Bloated) {
+  const Box a{0, 0, 4, 4};
+  EXPECT_EQ(a.bloated(3), Box(-3, -3, 7, 7));
+}
+
+TEST(Edge, SideAndContains) {
+  const Edge e{{0, 0}, {10, 10}};
+  EXPECT_GT(e.side_of({0, 5}), 0);
+  EXPECT_LT(e.side_of({5, 0}), 0);
+  EXPECT_EQ(e.side_of({7, 7}), 0);
+  EXPECT_TRUE(e.contains({7, 7}));
+  EXPECT_FALSE(e.contains({11, 11}));  // beyond endpoint
+  EXPECT_FALSE(e.contains({5, 6}));    // off the line
+}
+
+TEST(Edge, ClassifyProperCross) {
+  EXPECT_EQ(classify_intersection({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}}), SegCross::proper);
+  EXPECT_EQ(intersection_point({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}}), Point(5, 5));
+}
+
+TEST(Edge, ClassifyTouchAtEndpointAndTJunction) {
+  // Shared endpoint.
+  EXPECT_EQ(classify_intersection({{0, 0}, {5, 5}}, {{5, 5}, {9, 0}}), SegCross::touch);
+  // T-junction: endpoint in the interior of the other.
+  EXPECT_EQ(classify_intersection({{0, 0}, {10, 0}}, {{5, 0}, {5, 7}}), SegCross::touch);
+}
+
+TEST(Edge, ClassifyDisjointAndParallel) {
+  EXPECT_EQ(classify_intersection({{0, 0}, {1, 1}}, {{5, 5}, {9, 9}}), SegCross::none);
+  EXPECT_EQ(classify_intersection({{0, 0}, {4, 0}}, {{0, 1}, {4, 1}}), SegCross::none);
+}
+
+TEST(Edge, ClassifyCollinearOverlap) {
+  EXPECT_EQ(classify_intersection({{0, 0}, {10, 0}}, {{5, 0}, {15, 0}}), SegCross::overlap);
+  EXPECT_EQ(classify_intersection({{0, 0}, {10, 0}}, {{10, 0}, {20, 0}}), SegCross::touch);
+  const auto span = overlap_span({{0, 0}, {10, 0}}, {{5, 0}, {15, 0}});
+  EXPECT_EQ(span.first, Point(5, 0));
+  EXPECT_EQ(span.second, Point(10, 0));
+}
+
+TEST(Edge, IntersectionRoundsToGrid) {
+  // Lines cross at (0.5, 0.5) -> rounds to (1, 1) (ties away from zero).
+  const Point p = intersection_point({{0, 0}, {1, 1}}, {{0, 1}, {1, 0}});
+  EXPECT_EQ(p, Point(1, 1));
+}
+
+TEST(Trans, AppliesOrientations) {
+  const Point p{2, 1};
+  EXPECT_EQ(Trans({0, 0}, Orient::r0)(p), Point(2, 1));
+  EXPECT_EQ(Trans({0, 0}, Orient::r90)(p), Point(-1, 2));
+  EXPECT_EQ(Trans({0, 0}, Orient::r180)(p), Point(-2, -1));
+  EXPECT_EQ(Trans({0, 0}, Orient::r270)(p), Point(1, -2));
+  EXPECT_EQ(Trans({0, 0}, Orient::m0)(p), Point(2, -1));
+  EXPECT_EQ(Trans({10, 20}, Orient::r0)(p), Point(12, 21));
+}
+
+TEST(Trans, CompositionMatchesApplication) {
+  const Point probe{7, -3};
+  for (int oa = 0; oa < 8; ++oa) {
+    for (int ob = 0; ob < 8; ++ob) {
+      const Trans a{Point{5, -2}, static_cast<Orient>(oa)};
+      const Trans b{Point{-4, 9}, static_cast<Orient>(ob)};
+      EXPECT_EQ((a * b)(probe), a(b(probe)))
+          << "oa=" << oa << " ob=" << ob;
+    }
+  }
+}
+
+TEST(Trans, InverseRoundTrips) {
+  const Point probe{13, 27};
+  for (int o = 0; o < 8; ++o) {
+    const Trans t{Point{31, -8}, static_cast<Orient>(o)};
+    EXPECT_EQ(t.inverted()(t(probe)), probe) << "orient " << o;
+    EXPECT_EQ(t(t.inverted()(probe)), probe) << "orient " << o;
+  }
+}
+
+TEST(CTrans, OrthogonalMatchesTrans) {
+  const Point probe{11, 5};
+  for (int o = 0; o < 8; ++o) {
+    const Trans t{Point{3, 4}, static_cast<Orient>(o)};
+    const CTrans c{t};
+    EXPECT_TRUE(c.is_orthogonal());
+    EXPECT_EQ(c(probe), t(probe)) << "orient " << o;
+    EXPECT_EQ(c.to_trans(), t);
+  }
+}
+
+TEST(CTrans, MagnificationScales) {
+  const CTrans c{Point{0, 0}, 0.0, 2.0, false};
+  EXPECT_EQ(c(Point{3, 4}), Point(6, 8));
+  EXPECT_FALSE(c.is_orthogonal());
+}
+
+}  // namespace
+}  // namespace ebl

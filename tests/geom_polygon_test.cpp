@@ -1,0 +1,176 @@
+// Unit tests for SimplePolygon / Polygon / Trapezoid / curves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/curves.h"
+#include "geom/polygon.h"
+#include "geom/trapezoid.h"
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+SimplePolygon unit_square(Coord s = 10) {
+  return SimplePolygon::rect(0, 0, s, s);
+}
+
+TEST(SimplePolygon, RectBasics) {
+  const auto p = unit_square();
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.bbox(), Box(0, 0, 10, 10));
+  EXPECT_EQ(p.doubled_signed_area(), Wide(200));
+  EXPECT_DOUBLE_EQ(p.area(), 100.0);
+  EXPECT_TRUE(p.is_ccw());
+  EXPECT_TRUE(p.is_rectilinear());
+  EXPECT_DOUBLE_EQ(p.perimeter(), 40.0);
+}
+
+TEST(SimplePolygon, ReversedFlipsOrientation) {
+  const auto p = unit_square();
+  const auto r = p.reversed();
+  EXPECT_FALSE(r.is_ccw());
+  EXPECT_EQ(r.doubled_signed_area(), -p.doubled_signed_area());
+}
+
+TEST(SimplePolygon, ContainsInteriorBoundaryExterior) {
+  const auto p = unit_square();
+  EXPECT_TRUE(p.contains({5, 5}));
+  EXPECT_TRUE(p.contains({0, 0}));    // vertex
+  EXPECT_TRUE(p.contains({5, 0}));    // edge
+  EXPECT_FALSE(p.contains({11, 5}));
+  EXPECT_FALSE(p.contains({-1, -1}));
+}
+
+TEST(SimplePolygon, ContainsNonConvex) {
+  // L-shape.
+  const SimplePolygon p{{{0, 0}, {20, 0}, {20, 10}, {10, 10}, {10, 20}, {0, 20}}};
+  EXPECT_TRUE(p.contains({5, 15}));
+  EXPECT_TRUE(p.contains({15, 5}));
+  EXPECT_FALSE(p.contains({15, 15}));
+  EXPECT_DOUBLE_EQ(p.area(), 300.0);
+}
+
+TEST(SimplePolygon, NormalizedCanonicalizes) {
+  // Same square entered CW with a redundant collinear vertex.
+  const SimplePolygon messy{{{10, 0}, {10, 10}, {5, 10}, {0, 10}, {0, 0}, {5, 0}}};
+  const auto n = messy.normalized();
+  EXPECT_EQ(n, unit_square().normalized());
+  EXPECT_TRUE(n.is_ccw());
+  EXPECT_EQ(n.size(), 4u);
+  EXPECT_EQ(n[0], Point(0, 0));  // smallest vertex first
+}
+
+TEST(SimplePolygon, NormalizedDropsDegenerate) {
+  const SimplePolygon degenerate{{{0, 0}, {5, 0}, {9, 0}}};
+  EXPECT_TRUE(degenerate.normalized().empty());
+}
+
+TEST(SimplePolygon, NotRectilinearWith45) {
+  const SimplePolygon tri{{{0, 0}, {10, 0}, {0, 10}}};
+  EXPECT_FALSE(tri.is_rectilinear());
+  EXPECT_DOUBLE_EQ(tri.area(), 50.0);
+}
+
+TEST(Polygon, HoleAreaAndContains) {
+  const Polygon p{unit_square(20), {SimplePolygon::rect(5, 5, 15, 15)}};
+  EXPECT_DOUBLE_EQ(p.area(), 400.0 - 100.0);
+  EXPECT_TRUE(p.contains({2, 2}));
+  EXPECT_FALSE(p.contains({10, 10}));   // inside the hole
+  EXPECT_TRUE(p.contains({5, 10}));     // on the hole boundary
+  EXPECT_EQ(p.vertex_count(), 8u);
+}
+
+TEST(Polygon, NormalizesOrientations) {
+  // Outer given CW, hole given CCW: constructor must fix both.
+  const Polygon p{unit_square(20).reversed(), {SimplePolygon::rect(5, 5, 15, 15)}};
+  EXPECT_TRUE(p.outer().is_ccw());
+  EXPECT_FALSE(p.holes()[0].is_ccw());
+  EXPECT_DOUBLE_EQ(p.area(), 300.0);
+}
+
+TEST(Trapezoid, RectAndArea) {
+  const auto t = Trapezoid::rect(Box{0, 0, 10, 4});
+  EXPECT_TRUE(t.valid());
+  EXPECT_TRUE(t.is_rect());
+  EXPECT_DOUBLE_EQ(t.area(), 40.0);
+  EXPECT_EQ(t.bbox(), Box(0, 0, 10, 4));
+}
+
+TEST(Trapezoid, SlantedAreaAndContains) {
+  // Right triangle: bottom [0,10], top collapses at x=0.
+  const Trapezoid t{0, 10, 0, 10, 0, 0};
+  EXPECT_TRUE(t.valid());
+  EXPECT_TRUE(t.is_triangle());
+  EXPECT_DOUBLE_EQ(t.area(), 50.0);
+  EXPECT_TRUE(t.contains({1, 1}));
+  EXPECT_TRUE(t.contains({0, 10}));   // apex
+  EXPECT_TRUE(t.contains({5, 5}));    // on hypotenuse
+  EXPECT_FALSE(t.contains({6, 5}));
+}
+
+TEST(Trapezoid, ToPolygonRoundTripsArea) {
+  const Trapezoid t{0, 8, 2, 14, 4, 10};
+  const auto p = t.to_polygon();
+  EXPECT_DOUBLE_EQ(p.area(), t.area());
+  EXPECT_TRUE(p.is_ccw());
+}
+
+TEST(Trapezoid, InvalidShapes) {
+  EXPECT_FALSE((Trapezoid{0, 0, 0, 10, 0, 10}).valid());   // zero height
+  EXPECT_FALSE((Trapezoid{0, 5, 10, 0, 10, 0}).valid());   // inverted x
+  EXPECT_FALSE((Trapezoid{0, 5, 3, 3, 4, 4}).valid());     // zero width both ends
+}
+
+TEST(Curves, CircleAreaConverges) {
+  const Coord r = 10000;
+  const auto c = circle({0, 0}, r, 1.0);
+  const double exact = std::numbers::pi * double(r) * r;
+  EXPECT_NEAR(c.area(), exact, exact * 1e-3);
+  EXPECT_GE(c.size(), 8u);
+}
+
+TEST(Curves, CircleRespectsToleranceScaling) {
+  EXPECT_GT(circle_segments(10000, 1.0), circle_segments(10000, 10.0));
+  EXPECT_GT(circle_segments(100000, 1.0), circle_segments(10000, 1.0));
+}
+
+TEST(Curves, RingHasHole) {
+  const auto ringp = ring({0, 0}, 5000, 10000, 1.0);
+  EXPECT_EQ(ringp.holes().size(), 1u);
+  const double exact = std::numbers::pi * (1e8 - 25e6);
+  EXPECT_NEAR(ringp.area(), exact, exact * 1e-3);
+  EXPECT_TRUE(ringp.contains({7500, 0}));
+  EXPECT_FALSE(ringp.contains({0, 0}));
+}
+
+TEST(Curves, RingSectorQuarter) {
+  const auto s = ring_sector({0, 0}, 5000, 10000, 0.0, std::numbers::pi / 2, 1.0);
+  const double exact = std::numbers::pi * (1e8 - 25e6) / 4.0;
+  EXPECT_NEAR(s.area(), exact, exact * 2e-3);
+  EXPECT_TRUE(s.contains({5300, 5300}));
+  EXPECT_FALSE(s.contains({-5300, 5300}));
+}
+
+TEST(Curves, PieSliceWithZeroInnerRadius) {
+  const auto s = ring_sector({0, 0}, 0, 1000, 0.0, std::numbers::pi, 1.0);
+  const double exact = std::numbers::pi * 1e6 / 2.0;
+  EXPECT_NEAR(s.area(), exact, exact * 2e-3);
+}
+
+TEST(Curves, RegularPolygonArea) {
+  const auto hex = regular_polygon({0, 0}, 1000, 6);
+  const double exact = 6.0 * 0.25 * std::sqrt(3.0) * 1000.0 * 1000.0;
+  EXPECT_NEAR(hex.area(), exact, exact * 1e-2);
+  EXPECT_EQ(hex.size(), 6u);
+}
+
+TEST(Curves, RejectsBadArguments) {
+  EXPECT_THROW(circle({0, 0}, 0, 1.0), ContractViolation);
+  EXPECT_THROW(ring({0, 0}, 10, 5, 1.0), ContractViolation);
+  EXPECT_THROW(regular_polygon({0, 0}, 10, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ebl

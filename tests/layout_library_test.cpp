@@ -1,0 +1,175 @@
+// Tests for the hierarchical layout database.
+#include <gtest/gtest.h>
+
+#include "layout/library.h"
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+Library two_level_library() {
+  Library lib("TEST");
+  const CellId leaf = lib.add_cell("LEAF");
+  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{0, 0, 10, 10});
+
+  const CellId top = lib.add_cell("TOP");
+  lib.cell(top).add_shape(LayerKey{2, 0}, Box{-5, -5, 0, 0});
+  Reference r;
+  r.child = leaf;
+  r.trans = CTrans{Point{100, 0}, 0.0, 1.0, false};
+  lib.cell(top).add_reference(r);
+  return lib;
+}
+
+TEST(Library, AddFindCells) {
+  Library lib("L");
+  const CellId a = lib.add_cell("A");
+  const CellId b = lib.add_cell("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(lib.find_cell("A"), a);
+  EXPECT_EQ(lib.find_cell("B"), b);
+  EXPECT_FALSE(lib.find_cell("C").has_value());
+  EXPECT_EQ(lib.cell_count(), 2u);
+  EXPECT_THROW(lib.add_cell("A"), DataError);
+  EXPECT_THROW(lib.add_cell(""), ContractViolation);
+}
+
+TEST(Library, TopCellDetection) {
+  Library lib = two_level_library();
+  const auto tops = lib.top_cells();
+  ASSERT_EQ(tops.size(), 1u);
+  EXPECT_EQ(lib.cell(tops[0]).name(), "TOP");
+}
+
+TEST(Library, FlattenSingleReference) {
+  Library lib = two_level_library();
+  const CellId top = *lib.find_cell("TOP");
+  const PolygonSet flat = lib.flatten(top, LayerKey{1, 0});
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat.bbox(), Box(100, 0, 110, 10));
+  // TOP's own layer flattens too.
+  EXPECT_EQ(lib.flatten(top, LayerKey{2, 0}).bbox(), Box(-5, -5, 0, 0));
+  // Unused layer is empty.
+  EXPECT_TRUE(lib.flatten(top, LayerKey{9, 9}).empty());
+}
+
+TEST(Library, FlattenRotatedReference) {
+  Library lib("L");
+  const CellId leaf = lib.add_cell("LEAF");
+  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{0, 0, 10, 4});
+  const CellId top = lib.add_cell("TOP");
+  Reference r;
+  r.child = leaf;
+  r.trans = CTrans{Point{0, 0}, 90.0, 1.0, false};
+  lib.cell(top).add_reference(r);
+  const PolygonSet flat = lib.flatten(top, LayerKey{1, 0});
+  EXPECT_EQ(flat.bbox(), Box(-4, 0, 0, 10));
+}
+
+TEST(Library, FlattenArrayReference) {
+  Library lib("L");
+  const CellId leaf = lib.add_cell("LEAF");
+  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{0, 0, 10, 10});
+  const CellId top = lib.add_cell("TOP");
+  Reference r;
+  r.child = leaf;
+  r.cols = 3;
+  r.rows = 2;
+  r.col_step = {100, 0};
+  r.row_step = {0, 50};
+  lib.cell(top).add_reference(r);
+  const PolygonSet flat = lib.flatten(top, LayerKey{1, 0});
+  EXPECT_EQ(flat.size(), 6u);
+  EXPECT_EQ(flat.bbox(), Box(0, 0, 210, 60));
+  EXPECT_EQ(lib.bbox(top), Box(0, 0, 210, 60));
+}
+
+TEST(Library, NestedHierarchyComposesTransforms) {
+  Library lib("L");
+  const CellId leaf = lib.add_cell("LEAF");
+  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{0, 0, 2, 1});
+  const CellId mid = lib.add_cell("MID");
+  Reference r1;
+  r1.child = leaf;
+  r1.trans = CTrans{Point{10, 0}, 0.0, 1.0, false};
+  lib.cell(mid).add_reference(r1);
+  const CellId top = lib.add_cell("TOP");
+  Reference r2;
+  r2.child = mid;
+  r2.trans = CTrans{Point{0, 100}, 90.0, 1.0, false};
+  lib.cell(top).add_reference(r2);
+
+  // leaf box at (10,0)-(12,1) in MID; rotate 90° about origin then +{0,100}:
+  // (x,y) -> (-y, x) + (0,100) => (10,0)->(0,110), (12,1)->(-1,112).
+  const PolygonSet flat = lib.flatten(top, LayerKey{1, 0});
+  EXPECT_EQ(flat.bbox(), Box(-1, 110, 0, 112));
+}
+
+TEST(Library, StatsCountInstancesAndShapes) {
+  Library lib("L");
+  const CellId leaf = lib.add_cell("LEAF");
+  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{0, 0, 1, 1});
+  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{2, 0, 3, 1});
+  const CellId top = lib.add_cell("TOP");
+  Reference r;
+  r.child = leaf;
+  r.cols = 4;
+  r.rows = 4;
+  r.col_step = {10, 0};
+  r.row_step = {0, 10};
+  lib.cell(top).add_reference(r);
+  const LibraryStats s = lib.stats(top);
+  EXPECT_EQ(s.cells, 2u);
+  EXPECT_EQ(s.local_shapes, 2u);
+  EXPECT_EQ(s.references, 1u);
+  EXPECT_EQ(s.flat_instances, 16u);
+  EXPECT_EQ(s.flat_shapes, 32u);
+}
+
+TEST(Library, ValidateDetectsCycle) {
+  Library lib("L");
+  const CellId a = lib.add_cell("A");
+  const CellId b = lib.add_cell("B");
+  Reference rab;
+  rab.child = b;
+  lib.cell(a).add_reference(rab);
+  lib.validate();  // fine so far
+  Reference rba;
+  rba.child = a;
+  lib.cell(b).add_reference(rba);
+  EXPECT_THROW(lib.validate(), DataError);
+  EXPECT_THROW(lib.flatten(a, LayerKey{1, 0}), DataError);
+}
+
+TEST(Library, BBoxCachesAndInvalidates) {
+  Library lib("L");
+  const CellId a = lib.add_cell("A");
+  lib.cell(a).add_shape(LayerKey{1, 0}, Box{0, 0, 5, 5});
+  EXPECT_EQ(lib.bbox(a), Box(0, 0, 5, 5));
+  lib.cell(a).add_shape(LayerKey{1, 0}, Box{10, 10, 20, 20});
+  EXPECT_EQ(lib.bbox(a), Box(0, 0, 20, 20));  // cache invalidated by cell()
+}
+
+TEST(Library, LayersUnderAggregatesHierarchy) {
+  Library lib = two_level_library();
+  const CellId top = *lib.find_cell("TOP");
+  const auto layers = lib.layers_under(top);
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers[0], (LayerKey{1, 0}));
+  EXPECT_EQ(layers[1], (LayerKey{2, 0}));
+}
+
+TEST(Library, MirroredReferenceFlattens) {
+  Library lib("L");
+  const CellId leaf = lib.add_cell("LEAF");
+  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{1, 2, 4, 6});
+  const CellId top = lib.add_cell("TOP");
+  Reference r;
+  r.child = leaf;
+  r.trans = CTrans{Point{0, 0}, 0.0, 1.0, true};  // mirror about x
+  lib.cell(top).add_reference(r);
+  EXPECT_EQ(lib.flatten(top, LayerKey{1, 0}).bbox(), Box(1, -6, 4, -2));
+}
+
+}  // namespace
+}  // namespace ebl

@@ -1,0 +1,112 @@
+// Tests for vector-scan shot ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "machine/ordering.h"
+#include "util/rng.h"
+
+namespace ebl {
+namespace {
+
+ShotList scattered_shots(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  ShotList shots;
+  for (int i = 0; i < n; ++i) {
+    const Coord x = static_cast<Coord>(rng.uniform(0, 200000));
+    const Coord y = static_cast<Coord>(rng.uniform(0, 200000));
+    shots.push_back({Trapezoid::rect(Box{x, y, static_cast<Coord>(x + 500),
+                                         static_cast<Coord>(y + 500)}),
+                     1.0});
+  }
+  return shots;
+}
+
+bool same_multiset(const ShotList& a, const ShotList& b) {
+  if (a.size() != b.size()) return false;
+  auto key = [](const Shot& s) {
+    return std::tuple{s.shape.y0, s.shape.y1, s.shape.xl0, s.shape.xr0, s.dose};
+  };
+  std::vector<decltype(key(a[0]))> ka, kb;
+  for (const Shot& s : a) ka.push_back(key(s));
+  for (const Shot& s : b) kb.push_back(key(s));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+TEST(Ordering, SerpentineReducesTravel) {
+  ShotList shots = scattered_shots(2000, 3);
+  const double before = total_travel(shots);
+  ShotList ordered = shots;
+  order_serpentine(ordered, 10000);
+  EXPECT_LT(total_travel(ordered), before / 5.0);
+  EXPECT_TRUE(same_multiset(shots, ordered));
+}
+
+TEST(Ordering, NearestNeighborBeatsRandom) {
+  ShotList shots = scattered_shots(1500, 4);
+  const double before = total_travel(shots);
+  ShotList ordered = shots;
+  order_nearest_neighbor(ordered);
+  EXPECT_LT(total_travel(ordered), before / 8.0);
+  EXPECT_TRUE(same_multiset(shots, ordered));
+}
+
+TEST(Ordering, NearestNeighborBeatsOrComparableToSerpentine) {
+  ShotList shots = scattered_shots(1500, 5);
+  ShotList serp = shots;
+  order_serpentine(serp, 10000);
+  ShotList nn = shots;
+  order_nearest_neighbor(nn);
+  // NN should be within 2x of serpentine on uniform data (usually better).
+  EXPECT_LT(total_travel(nn), 2.0 * total_travel(serp));
+}
+
+TEST(Ordering, SettleModelMonotoneInTravel) {
+  ShotList shots = scattered_shots(500, 6);
+  ShotList ordered = shots;
+  order_serpentine(ordered, 10000);
+  const double t_bad = deflection_settle_time(shots, 1e-6, 1e-7);
+  const double t_good = deflection_settle_time(ordered, 1e-6, 1e-7);
+  EXPECT_LT(t_good, t_bad);
+  // Fixed floor dominates when travel term vanishes.
+  EXPECT_NEAR(deflection_settle_time(ordered, 0.0, 1e-7), 500 * 1e-7, 1e-12);
+}
+
+TEST(Ordering, SmallAndDegenerateInputs) {
+  ShotList empty;
+  order_nearest_neighbor(empty);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(total_travel(empty), 0.0);
+
+  ShotList one{{Trapezoid::rect(Box{0, 0, 10, 10}), 1.0}};
+  order_nearest_neighbor(one);
+  order_serpentine(one, 100);
+  EXPECT_EQ(one.size(), 1u);
+
+  // All shots at the same location.
+  ShotList same;
+  for (int i = 0; i < 10; ++i) same.push_back({Trapezoid::rect(Box{0, 0, 10, 10}), 1.0});
+  order_nearest_neighbor(same);
+  EXPECT_EQ(same.size(), 10u);
+  EXPECT_DOUBLE_EQ(total_travel(same), 0.0);
+}
+
+TEST(Ordering, SerpentineAlternatesDirection) {
+  // Two swaths of three shots each; second swath must run right-to-left.
+  ShotList shots;
+  for (const Coord x : {0, 1000, 2000}) {
+    shots.push_back({Trapezoid::rect(Box{x, 0, Coord(x + 10), 10}), 1.0});
+    shots.push_back({Trapezoid::rect(Box{x, 5000, Coord(x + 10), 5010}), 1.0});
+  }
+  order_serpentine(shots, 1000);
+  ASSERT_EQ(shots.size(), 6u);
+  EXPECT_LT(shots[0].shape.xl0, shots[2].shape.xl0);  // first swath ltr
+  EXPECT_GT(shots[3].shape.xl0, shots[5].shape.xl0);  // second swath rtl
+}
+
+}  // namespace
+}  // namespace ebl

@@ -1,0 +1,177 @@
+// Tests for writer timing models, field partitioning and distortion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "machine/distortion.h"
+#include "machine/field.h"
+#include "machine/writer.h"
+#include "util/rng.h"
+
+namespace ebl {
+namespace {
+
+ShotList dense_shots(double density, Coord frame_size = 1000000) {
+  Rng rng(42);
+  const PolygonSet s = random_manhattan(rng, Box{0, 0, frame_size, frame_size},
+                                        density, 2000, 20000);
+  return fracture(s, {.max_shot_size = 20000}).shots;
+}
+
+TEST(WriteJob, AggregatesShotList) {
+  ShotList shots{{Trapezoid::rect(Box{0, 0, 1000, 1000}), 1.0},
+                 {Trapezoid::rect(Box{2000, 0, 3000, 1000}), 2.0}};
+  const WriteJob job = make_write_job(shots);
+  EXPECT_EQ(job.figures, 2u);
+  EXPECT_DOUBLE_EQ(job.exposed_area, 2e6);
+  EXPECT_DOUBLE_EQ(job.charge_area, 3e6);
+  EXPECT_EQ(job.extent, Box(0, 0, 3000, 1000));
+}
+
+TEST(RasterWriter, TimeIsDensityIndependent) {
+  const RasterScanWriter w;
+  const ShotList lo = dense_shots(0.05);
+  const ShotList hi = dense_shots(0.50);
+  WriteJob jlo = make_write_job(lo, Box{0, 0, 1000000, 1000000});
+  WriteJob jhi = make_write_job(hi, Box{0, 0, 1000000, 1000000});
+  EXPECT_NEAR(w.write_time(jlo).total(), w.write_time(jhi).total(), 1e-9);
+}
+
+TEST(RasterWriter, DoseLimitsClock) {
+  RasterScanParams p;
+  p.max_pixel_rate_hz = 1e12;  // effectively unlimited clock
+  p.beam_current_na = 100.0;
+  p.base_dose_uc_cm2 = 1.0;
+  p.pixel_nm = 100.0;
+  const RasterScanWriter w(p);
+  // t_pixel = D*a/I = 1e-6 * 1e-10 cm² / 1e-7 A = 1e-9 s -> 1 GHz.
+  EXPECT_NEAR(w.pixel_rate_hz(), 1e9, 1e6);
+}
+
+TEST(VectorWriter, TimeScalesWithDensity) {
+  const VectorScanWriter w;
+  const WriteJob jlo = make_write_job(dense_shots(0.05), Box{0, 0, 1000000, 1000000});
+  const WriteJob jhi = make_write_job(dense_shots(0.50), Box{0, 0, 1000000, 1000000});
+  const double tlo = w.write_time(jlo).exposure_s;
+  const double thi = w.write_time(jhi).exposure_s;
+  EXPECT_GT(thi, 5.0 * tlo);
+}
+
+TEST(VectorWriter, PecDosesCostBeamTime) {
+  ShotList shots = dense_shots(0.2);
+  const WriteJob base = make_write_job(shots);
+  for (Shot& s : shots) s.dose = 2.0;
+  const WriteJob doubled = make_write_job(shots);
+  const VectorScanWriter w;
+  EXPECT_NEAR(w.write_time(doubled).exposure_s, 2.0 * w.write_time(base).exposure_s,
+              1e-9);
+}
+
+TEST(VsbWriter, TimeScalesWithShotCountNotArea) {
+  const VsbWriter w;
+  // Same area, different figure counts.
+  ShotList coarse{{Trapezoid::rect(Box{0, 0, 100000, 100000}), 1.0}};
+  ShotList fine;
+  for (int i = 0; i < 100; ++i) {
+    fine.push_back({Trapezoid::rect(Box{Coord(i * 1000), 0, Coord((i + 1) * 1000), 100000}),
+                    1.0});
+  }
+  // Stage time is extent-driven and identical; beam + overhead time scales
+  // with the shot count.
+  const WriteTime t1 = w.write_time(make_write_job(coarse));
+  const WriteTime t2 = w.write_time(make_write_job(fine));
+  EXPECT_GT(t2.exposure_s + t2.overhead_s, 10.0 * (t1.exposure_s + t1.overhead_s));
+  EXPECT_DOUBLE_EQ(t1.stage_s, t2.stage_s);
+}
+
+TEST(VsbWriter, MinFlashEnforced) {
+  VsbParams p;
+  p.min_flash_s = 1e-6;
+  p.base_dose_uc_cm2 = 0.001;  // would be faster than min flash
+  const VsbWriter w(p);
+  EXPECT_DOUBLE_EQ(w.flash_time_s(1.0), 1e-6);
+}
+
+TEST(Fields, PartitionCoversAllShotsOnce) {
+  const ShotList shots = dense_shots(0.2, 300000);
+  const double total = shot_area(shots);
+  const auto fields = partition_fields(shots, 100000);
+  EXPECT_GT(fields.size(), 1u);
+  double sum = 0.0;
+  for (const FieldJob& f : fields) {
+    for (const Shot& s : f.shots) {
+      // Every piece inside its field frame.
+      EXPECT_TRUE(f.field.contains(s.shape.bbox())) << s.shape << " vs " << f.field;
+      sum += s.shape.area();
+    }
+  }
+  EXPECT_NEAR(sum, total, total * 1e-6);
+}
+
+TEST(Fields, StraddlerCountMatchesGridCrossing) {
+  ShotList shots;
+  shots.push_back({Trapezoid::rect(Box{10, 10, 50, 50}), 1.0});         // inside
+  shots.push_back({Trapezoid::rect(Box{90, 10, 150, 50}), 1.0});        // crosses x
+  shots.push_back({Trapezoid::rect(Box{10, 90, 50, 150}), 1.0});        // crosses y
+  EXPECT_EQ(count_boundary_straddlers(shots, 100), 2u);
+  const auto fields = partition_fields(shots, 100);
+  std::size_t pieces = 0;
+  for (const auto& f : fields) pieces += f.shots.size();
+  EXPECT_EQ(pieces, 5u);  // two straddlers split into two pieces each
+}
+
+TEST(Distortion, PureScaleStitchError) {
+  DeflectionDistortion d;
+  d.scale_x = 10.0;  // 10 dbu at the field edge
+  // Right edge displaced +10, left edge -10 -> butting error 20.
+  EXPECT_NEAR(max_stitching_error(d), 20.0, 1e-9);
+}
+
+TEST(Distortion, PincushionGrowsTowardCorners) {
+  DeflectionDistortion d;
+  d.pincushion = 8.0;
+  const auto [cx, cy] = d.displacement(1.0, 1.0);
+  const auto [ex, ey] = d.displacement(1.0, 0.0);
+  EXPECT_GT(std::hypot(cx, cy), std::hypot(ex, ey));
+}
+
+TEST(Distortion, CalibrationRemovesAffinePart) {
+  DeflectionDistortion d;
+  d.scale_x = 12.0;
+  d.scale_y = -7.0;
+  d.rotation = 5.0;
+  d.offset_x = 3.0;
+  d.offset_y = -2.0;
+  const DeflectionDistortion r = calibrate_affine(d, 5, 0.0);
+  EXPECT_NEAR(r.scale_x, 0.0, 1e-9);
+  EXPECT_NEAR(r.scale_y, 0.0, 1e-9);
+  EXPECT_NEAR(r.rotation, 0.0, 1e-9);
+  EXPECT_NEAR(r.offset_x, 0.0, 1e-9);
+  EXPECT_NEAR(r.offset_y, 0.0, 1e-9);
+  EXPECT_NEAR(max_stitching_error(r), 0.0, 1e-9);
+}
+
+TEST(Distortion, CalibrationLeavesPincushionResidual) {
+  DeflectionDistortion d;
+  d.scale_x = 12.0;
+  d.pincushion = 6.0;
+  const double before = max_stitching_error(d);
+  const DeflectionDistortion r = calibrate_affine(d, 7, 0.0);
+  const double after = max_stitching_error(r);
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 0.1);  // third-order residual cannot be nulled affinely
+}
+
+TEST(Distortion, NoisyCalibrationStillHelps) {
+  DeflectionDistortion d;
+  d.scale_x = 20.0;
+  d.rotation = 10.0;
+  const double before = max_stitching_error(d);
+  const DeflectionDistortion r = calibrate_affine(d, 7, 0.5, 7);
+  EXPECT_LT(max_stitching_error(r), before * 0.2);
+}
+
+}  // namespace
+}  // namespace ebl

@@ -1,0 +1,192 @@
+// Tests for exposure evaluation and proximity-effect correction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "pec/correction.h"
+#include "pec/exposure.h"
+
+namespace ebl {
+namespace {
+
+// A dense pad (backscatter-rich) next to an isolated small square: the
+// canonical proximity-effect test case.
+ShotList pad_and_island() {
+  PolygonSet s;
+  s.insert(Box{0, 0, 20000, 20000});          // 20 µm pad
+  s.insert(Box{40000, 9500, 41000, 10500});   // isolated 1 µm square, 20 µm away
+  return fracture(s, {.max_shot_size = 2000}).shots;
+}
+
+Psf test_psf() { return Psf::double_gaussian(50.0, 3000.0, 0.7); }
+
+TEST(ExposureEvaluator, UniformLargePadCenterIsOne) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 40000, 40000});  // 40 µm >> 4 beta
+  const ShotList shots = fracture(s, {.max_shot_size = 4000}).shots;
+  const ExposureEvaluator eval(shots, test_psf());
+  EXPECT_NEAR(eval.exposure_at(20000.0, 20000.0), 1.0, 0.02);
+  // Pad edge: half the energy.
+  EXPECT_NEAR(eval.exposure_at(0.0, 20000.0), 0.5, 0.02);
+  // Far outside: nothing.
+  EXPECT_NEAR(eval.exposure_at(-30000.0, 20000.0), 0.0, 0.01);
+}
+
+TEST(ExposureEvaluator, IsolatedSmallFeatureGetsForwardShareOnly) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 1000, 1000});  // 1 µm square, alpha = 50 nm << 1 µm << beta
+  const ShotList shots = fracture(s).shots;
+  const ExposureEvaluator eval(shots, test_psf());
+  // Center sees the full forward term but almost no backscatter:
+  // E ~ 1/(1+eta) = 0.588.
+  EXPECT_NEAR(eval.exposure_at(500.0, 500.0), 1.0 / 1.7, 0.03);
+}
+
+TEST(ExposureEvaluator, MatchesBruteForceAnalytic) {
+  // Cross-check the two-scale evaluator against the direct erf sum.
+  const ShotList shots = pad_and_island();
+  const Psf psf = test_psf();
+  const ExposureEvaluator eval(shots, psf);
+  for (const auto& probe : {std::pair{10000.0, 10000.0}, {40500.0, 10000.0},
+                            {25000.0, 10000.0}}) {
+    double brute = 0.0;
+    for (const Shot& s : shots)
+      brute += s.dose * exposure_trapezoid(psf, s.shape, probe.first, probe.second);
+    EXPECT_NEAR(eval.exposure_at(probe.first, probe.second), brute, 0.03)
+        << "at " << probe.first << "," << probe.second;
+  }
+}
+
+TEST(ExposureEvaluator, SetDosesScalesExposure) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 2000, 2000});
+  const ShotList shots = fracture(s).shots;
+  ExposureEvaluator eval(shots, test_psf());
+  const double base = eval.exposure_at(1000.0, 1000.0);
+  std::vector<double> doses(shots.size(), 2.0);
+  eval.set_doses(doses);
+  EXPECT_NEAR(eval.exposure_at(1000.0, 1000.0), 2.0 * base, 1e-6);
+}
+
+TEST(Pec, UncorrectedPatternHasLargeIsoDenseGap) {
+  const ShotList shots = pad_and_island();
+  const ExposureEvaluator eval(shots, test_psf());
+  const auto exposures = eval.exposures_at_centroids();
+  const double lo = *std::min_element(exposures.begin(), exposures.end());
+  const double hi = *std::max_element(exposures.begin(), exposures.end());
+  // Pad interior ~1.0; isolated island ~0.59.
+  EXPECT_GT(hi / lo, 1.4);
+}
+
+TEST(Pec, IterativeCorrectionEqualizesExposure) {
+  const ShotList shots = pad_and_island();
+  PecOptions opt;
+  opt.max_iterations = 8;
+  opt.tolerance = 0.005;
+  const PecResult r = correct_proximity(shots, test_psf(), opt);
+  EXPECT_LT(r.final_max_error, 0.05);
+  // Convergence history is monotone decreasing (geometric decay).
+  for (std::size_t i = 1; i < r.max_error_history.size(); ++i)
+    EXPECT_LT(r.max_error_history[i], r.max_error_history[i - 1] + 1e-9);
+  // The isolated island must have received a higher dose than the pad core.
+  double pad_dose = 0.0;
+  double island_dose = 0.0;
+  for (const Shot& s : r.shots) {
+    const Box bb = s.shape.bbox();
+    if (bb.lo.x >= 40000) island_dose = std::max(island_dose, s.dose);
+    if (bb.hi.x <= 20000 && bb.lo.x >= 8000 && bb.lo.y >= 8000 && bb.hi.y <= 12000)
+      pad_dose = std::max(pad_dose, s.dose);
+  }
+  EXPECT_GT(island_dose, pad_dose * 1.2);
+}
+
+TEST(Pec, CorrectionReducesErrorVsUncorrected) {
+  const ShotList shots = pad_and_island();
+  const Psf psf = test_psf();
+  const ExposureEvaluator eval(shots, psf);
+  double uncorrected = 0.0;
+  for (double e : eval.exposures_at_centroids())
+    uncorrected = std::max(uncorrected, std::abs(e - 1.0));
+  const PecResult r = correct_proximity(shots, psf);
+  EXPECT_LT(r.final_max_error, uncorrected / 3.0);
+}
+
+TEST(Pec, DensityPecAlsoImproves) {
+  const ShotList shots = pad_and_island();
+  const Psf psf = test_psf();
+  const ExposureEvaluator eval(shots, psf);
+  double uncorrected = 0.0;
+  for (double e : eval.exposures_at_centroids())
+    uncorrected = std::max(uncorrected, std::abs(e - 1.0));
+  const PecResult r = density_pec(shots, psf);
+  EXPECT_LT(r.final_max_error, uncorrected);
+}
+
+TEST(Pec, DoseClampRespected) {
+  const ShotList shots = pad_and_island();
+  PecOptions opt;
+  opt.min_dose = 0.8;
+  opt.max_dose = 1.5;
+  const PecResult r = correct_proximity(shots, test_psf(), opt);
+  for (const Shot& s : r.shots) {
+    EXPECT_GE(s.dose, 0.8);
+    EXPECT_LE(s.dose, 1.5);
+  }
+}
+
+TEST(Pec, QuantizeDoses) {
+  ShotList shots;
+  for (int i = 0; i <= 10; ++i) {
+    shots.push_back({Trapezoid::rect(Box{Coord(i * 100), 0, Coord(i * 100 + 50), 50}),
+                     1.0 + 0.1 * i});
+  }
+  const int used = quantize_doses(shots, 4);
+  EXPECT_LE(used, 4);
+  std::vector<double> distinct;
+  for (const Shot& s : shots) {
+    if (std::find(distinct.begin(), distinct.end(), s.dose) == distinct.end())
+      distinct.push_back(s.dose);
+  }
+  EXPECT_LE(distinct.size(), 4u);
+  // Extremes preserved.
+  EXPECT_DOUBLE_EQ(*std::min_element(distinct.begin(), distinct.end()), 1.0);
+  EXPECT_DOUBLE_EQ(*std::max_element(distinct.begin(), distinct.end()), 2.0);
+}
+
+TEST(Pec, QuantizedCorrectionStillBeatsUncorrected) {
+  const ShotList shots = pad_and_island();
+  const Psf psf = test_psf();
+  const ExposureEvaluator eval(shots, psf);
+  double uncorrected = 0.0;
+  for (double e : eval.exposures_at_centroids())
+    uncorrected = std::max(uncorrected, std::abs(e - 1.0));
+  PecOptions opt;
+  opt.dose_classes = 8;
+  const PecResult r = correct_proximity(shots, psf, opt);
+  EXPECT_LT(r.final_max_error, uncorrected);
+}
+
+TEST(GaussianBlur, PreservesMassInInterior) {
+  Raster r(Box{0, 0, 10000, 10000}, 100);
+  // Uniform field: blur must be identity in the interior.
+  for (double& v : r.data()) v = 1.0;
+  gaussian_blur(r, 500.0);
+  EXPECT_NEAR(r.at(50, 50), 1.0, 1e-9);
+}
+
+TEST(GaussianBlur, SpreadsPointSymmetrically) {
+  Raster r(Box{0, 0, 20000, 20000}, 100);
+  r.at(100, 100) = 1.0;
+  gaussian_blur(r, 800.0);
+  EXPECT_NEAR(r.at(92, 100), r.at(108, 100), 1e-12);
+  EXPECT_NEAR(r.at(100, 92), r.at(100, 108), 1e-12);
+  EXPECT_GT(r.at(100, 100), r.at(104, 100));
+  // Total mass preserved away from the borders.
+  EXPECT_NEAR(r.sum(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ebl

@@ -1,0 +1,193 @@
+// Tests for resist models, exposure simulation, contours and CD metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "sim/exposure_sim.h"
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+Psf test_psf() { return Psf::double_gaussian(50.0, 3000.0, 0.7); }
+
+TEST(Resist, ThresholdStep) {
+  const ThresholdResist r(0.5);
+  EXPECT_DOUBLE_EQ(r.thickness(0.49), 0.0);
+  EXPECT_DOUBLE_EQ(r.thickness(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(r.print_threshold(), 0.5);
+  EXPECT_TRUE(r.prints(0.7));
+  EXPECT_FALSE(r.prints(0.3));
+}
+
+TEST(Resist, ContrastCurveShape) {
+  const ContrastResist r(2.0, 0.4);
+  EXPECT_DOUBLE_EQ(r.thickness(0.4), 0.0);                  // onset
+  EXPECT_NEAR(r.thickness(r.saturation()), 1.0, 1e-12);     // full
+  EXPECT_NEAR(r.thickness(r.print_threshold()), 0.5, 1e-12);
+  // Monotone increasing between onset and saturation.
+  double prev = -1.0;
+  for (double e = 0.3; e < 1.5; e += 0.05) {
+    const double t = r.thickness(e);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Resist, ContrastInverseRoundTrips) {
+  const ContrastResist r(2.0, 0.4);
+  for (double t : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(r.thickness(r.exposure_for_thickness(t)), t, 1e-12);
+  }
+}
+
+TEST(Resist, HigherGammaIsSteeper) {
+  const ContrastResist soft(1.0, 0.4);
+  const ContrastResist hard(4.0, 0.4);
+  // Dose latitude = saturation/onset shrinks with gamma.
+  EXPECT_GT(soft.saturation() / soft.onset(), hard.saturation() / hard.onset());
+}
+
+TEST(SimulateExposure, LargePadCenterIsDose) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 30000, 30000});
+  const ShotList shots = fracture(s, {.max_shot_size = 5000}).shots;
+  const Raster e = simulate_exposure(shots, test_psf(), {.pixel = 100});
+  const auto [ix, iy] = e.index_of(Point{15000, 15000});
+  EXPECT_NEAR(e.at(ix, iy), 1.0, 0.02);
+  // Exactly on the pad edge half the energy arrives; sample bilinearly at
+  // x = 0 (pixel centers sit at +-50 around it).
+  const double edge = profile_along(e, Point{0, 15000}, Point{100, 15000}, 2)[0];
+  EXPECT_NEAR(edge, 0.5, 0.03);
+}
+
+TEST(SimulateExposure, DoseScalesLinearly) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 5000, 5000});
+  ShotList shots = fracture(s).shots;
+  const Raster e1 = simulate_exposure(shots, test_psf(), {.pixel = 100});
+  for (Shot& sh : shots) sh.dose = 3.0;
+  const Raster e3 = simulate_exposure(shots, test_psf(), {.pixel = 100});
+  const auto [ix, iy] = e1.index_of(Point{2500, 2500});
+  EXPECT_NEAR(e3.at(ix, iy), 3.0 * e1.at(ix, iy), 1e-9);
+}
+
+TEST(Develop, AppliesResistCurve) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 20000, 20000});
+  const ShotList shots = fracture(s, {.max_shot_size = 5000}).shots;
+  const Raster e = simulate_exposure(shots, test_psf(), {.pixel = 200});
+  const Raster t = develop(e, ThresholdResist(0.5));
+  const auto [ix, iy] = t.index_of(Point{10000, 10000});
+  EXPECT_DOUBLE_EQ(t.at(ix, iy), 1.0);
+  const auto [ox, oy] = t.index_of(Point{-10000, 10000});
+  EXPECT_DOUBLE_EQ(t.at(ox, oy), 0.0);
+}
+
+TEST(ProfileAndCd, IsolatedLineWidthNearNominal) {
+  // A 500 nm isolated line; threshold at half the line-center exposure gives
+  // a CD close to nominal width.
+  PolygonSet s;
+  s.insert(Box{0, 0, 500, 20000});
+  const ShotList shots = fracture(s).shots;
+  const Psf psf = test_psf();
+  const Raster e = simulate_exposure(shots, psf, {.pixel = 25});
+  const Point a{-1500, 10000};
+  const Point b{2000, 10000};
+  const auto prof = profile_along(e, a, b, 401);
+  const double peak = *std::max_element(prof.begin(), prof.end());
+  const auto cd = measure_cd(e, peak / 2.0, a, b, 801);
+  ASSERT_TRUE(cd.has_value());
+  EXPECT_NEAR(*cd, 500.0, 40.0);
+}
+
+TEST(ProfileAndCd, NoFeatureNoCd) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 500, 500});
+  const Raster e = simulate_exposure(fracture(s).shots, test_psf(), {.pixel = 50});
+  // Probe far away from the feature.
+  EXPECT_FALSE(measure_cd(e, 0.3, Point{-12000, -12000}, Point{-9000, -12000}).has_value());
+}
+
+TEST(ProfileAndCd, HigherDoseWiderLine) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 500, 20000});
+  ShotList shots = fracture(s).shots;
+  const Psf psf = test_psf();
+  const Point a{-1500, 10000};
+  const Point b{2000, 10000};
+  const Raster e1 = simulate_exposure(shots, psf, {.pixel = 25});
+  for (Shot& sh : shots) sh.dose = 1.4;
+  const Raster e2 = simulate_exposure(shots, psf, {.pixel = 25});
+  const double level = 0.3;  // fixed resist threshold
+  const auto cd1 = measure_cd(e1, level, a, b, 801);
+  const auto cd2 = measure_cd(e2, level, a, b, 801);
+  ASSERT_TRUE(cd1 && cd2);
+  EXPECT_GT(*cd2, *cd1);
+}
+
+TEST(Contours, SquarePatternGivesOneClosedContour) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 4000, 4000});
+  const Raster e = simulate_exposure(fracture(s).shots, test_psf(), {.pixel = 100});
+  const auto contours = extract_contours(e, 0.29);  // ~print level
+  ASSERT_GE(contours.size(), 1u);
+  // Largest contour should be closed and roughly square-sized.
+  const auto& main = *std::max_element(
+      contours.begin(), contours.end(),
+      [](const ContourLine& a, const ContourLine& b) { return a.size() < b.size(); });
+  ASSERT_GE(main.size(), 8u);
+  const double dx = main.front().first - main.back().first;
+  const double dy = main.front().second - main.back().second;
+  EXPECT_LT(std::hypot(dx, dy), 200.0);  // closed within a pixel or two
+  // Contour bbox close to the pattern bbox.
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  for (const auto& [x, y] : main) {
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  EXPECT_NEAR(min_x, 0.0, 300.0);
+  EXPECT_NEAR(max_x, 4000.0, 300.0);
+  EXPECT_NEAR(min_y, 0.0, 300.0);
+  EXPECT_NEAR(max_y, 4000.0, 300.0);
+}
+
+TEST(Contours, LevelAboveMaxGivesNothing) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 2000, 2000});
+  const Raster e = simulate_exposure(fracture(s).shots, test_psf(), {.pixel = 100});
+  EXPECT_TRUE(extract_contours(e, 5.0).empty());
+}
+
+TEST(Grayscale, StaircaseDosesGiveStaircaseThickness) {
+  // Grayscale: one shot per step with increasing dose; contrast resist
+  // turns dose levels into thickness levels (the 8-level stair of Fig 1b
+  // in grayscale-EBL papers; here the generic grayscale transfer).
+  const ContrastResist resist(1.0, 0.4);
+  ShotList shots;
+  const int levels = 8;
+  for (int i = 0; i < levels; ++i) {
+    const double target_t = (i + 1.0) / levels;
+    // Required exposure at the step center (forward term only matters for
+    // large steps; steps are 2 µm wide >> alpha).
+    const double dose = resist.exposure_for_thickness(target_t);
+    shots.push_back({Trapezoid::rect(Box{Coord(i * 2000), 0, Coord((i + 1) * 2000), 20000}),
+                     dose});
+  }
+  // Use a forward-only PSF (iso feature, no backscatter neighbors matter).
+  const Psf psf = Psf::single_gaussian(50.0);
+  const Raster e = simulate_exposure(shots, psf, {.pixel = 50});
+  const Raster t = develop(e, resist);
+  for (int i = 0; i < levels; ++i) {
+    const auto [ix, iy] = t.index_of(Point{Coord(i * 2000 + 1000), 10000});
+    EXPECT_NEAR(t.at(ix, iy), (i + 1.0) / levels, 0.03) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ebl
