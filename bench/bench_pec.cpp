@@ -10,13 +10,21 @@
 // Ablation (DESIGN.md decision 4): iterative shape PEC vs. density PEC in
 // accuracy and runtime.
 #include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
+
+#include "seed_pec_reference.h"
 
 #include "core/patterns.h"
 #include "fracture/fracture.h"
 #include "pec/correction.h"
 #include "sim/exposure_sim.h"
 #include "util/csv.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 using namespace ebl;
@@ -29,9 +37,106 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// --- Scaling section: throughput of the full iterative PEC engine. ---
+//
+// Runs the complete 10-iteration correct_proximity on checkerboard layouts
+// of growing shot count and writes BENCH_pec.json so future PRs can track
+// shots/sec and ms/iteration. For the smaller cases the frozen seed engine
+// (bench/seed_pec_reference.h: vector-of-vectors bins, per-query alloc +
+// sort, full re-rasterization every iteration, checked serial blur) is timed
+// too, giving an in-tree speedup reference against the starting point.
+struct ScalingRow {
+  std::size_t shots = 0;
+  int iterations = 0;
+  double total_ms = 0.0;
+  double baseline_ms = -1.0;  // < 0: baseline not run at this size
+};
+
+ShotList checkerboard_shots(std::size_t target_shots) {
+  const Coord cell = 2000;
+  const Coord side =
+      static_cast<Coord>(cell * std::ceil(std::sqrt(2.0 * static_cast<double>(target_shots))));
+  PolygonSet pattern = checkerboard(Box{0, 0, side, side}, cell);
+  return fracture(pattern, {.max_shot_size = cell}).shots;
+}
+
+std::vector<ScalingRow> run_scaling(const Psf& psf, bool quick) {
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{10000}
+            : std::vector<std::size_t>{10000, 100000, 500000};
+  PecOptions popt;
+  popt.max_iterations = 10;
+  popt.tolerance = 0.0;  // fixed work: always run all iterations
+
+  std::vector<ScalingRow> rows;
+  for (const std::size_t target : sizes) {
+    const ShotList shots = checkerboard_shots(target);
+    ScalingRow row;
+    row.shots = shots.size();
+    row.iterations = popt.max_iterations;
+
+    auto t0 = std::chrono::steady_clock::now();
+    const PecResult r = correct_proximity(shots, psf, popt);
+    row.total_ms = ms_since(t0);
+    (void)r;
+
+    if (shots.size() <= 100352) {  // seed engine is ~15x slower; cap its cost
+      t0 = std::chrono::steady_clock::now();
+      const PecResult b = seedref::seed_correct_proximity(shots, psf, popt);
+      row.baseline_ms = ms_since(t0);
+      (void)b;
+    }
+    rows.push_back(row);
+    std::cerr << "scaling: " << row.shots << " shots done\n";
+  }
+  return rows;
+}
+
+void write_scaling_json(const std::vector<ScalingRow>& rows, const Psf& psf) {
+  std::ofstream out("BENCH_pec.json");
+  out << "{\n  \"bench\": \"pec_scaling\",\n";
+  out << "  \"workload\": \"checkerboard, 2um cells, 50% density\",\n";
+  out << "  \"psf\": {\"alpha\": " << psf.min_sigma() << ", \"beta\": " << psf.max_sigma()
+      << "},\n";
+  out << "  \"threads\": " << resolve_threads(0) << ",\n";
+  out << "  \"cases\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScalingRow& r = rows[i];
+    const double ms_per_it = r.total_ms / r.iterations;
+    const double shots_per_sec =
+        1000.0 * static_cast<double>(r.shots) * r.iterations / r.total_ms;
+    out << (i ? "," : "") << "\n    {\"shots\": " << r.shots
+        << ", \"iterations\": " << r.iterations << ", \"total_ms\": " << r.total_ms
+        << ", \"ms_per_iteration\": " << ms_per_it
+        << ", \"shots_per_sec\": " << shots_per_sec;
+    if (r.baseline_ms >= 0.0) {
+      out << ", \"seed_path_total_ms\": " << r.baseline_ms
+          << ", \"speedup_vs_seed_path\": " << r.baseline_ms / r.total_ms;
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  const Psf scaling_psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  const std::vector<ScalingRow> scaling = run_scaling(scaling_psf, quick);
+  Table sc("Scaling: full 10-iteration correct_proximity throughput");
+  sc.columns({"shots", "total ms", "ms/iteration", "shots/sec", "seed-path ms", "speedup"});
+  for (const ScalingRow& r : scaling) {
+    sc.row(r.shots, fixed(r.total_ms, 1), fixed(r.total_ms / r.iterations, 2),
+           fixed(1000.0 * double(r.shots) * r.iterations / r.total_ms, 0),
+           r.baseline_ms >= 0 ? fixed(r.baseline_ms, 1) : std::string("-"),
+           r.baseline_ms >= 0 ? fixed(r.baseline_ms / r.total_ms, 2) : std::string("-"));
+  }
+  sc.print();
+  write_scaling_json(scaling, scaling_psf);
+  std::cout << "wrote BENCH_pec.json\n";
+  if (quick) return 0;
   const Coord w = 500;
   const Coord pitch = 1000;
   const Coord len = 40000;

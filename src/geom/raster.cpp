@@ -78,25 +78,32 @@ std::pair<int, int> Raster::index_of(Point p) const {
   return {clamp(ix, nx_), clamp(iy, ny_)};
 }
 
-void Raster::add_coverage(const Trapezoid& t, double weight) {
+namespace {
+
+// Shared clip core of add_coverage/visit_coverage: emit(ix, iy, fraction) for
+// every overlapped pixel. Templated on the sink so the hot accumulation path
+// keeps a direct call.
+template <typename Emit>
+void visit_coverage_impl(const Trapezoid& t, Point origin, Coord pix, int nx, int ny,
+                         Emit&& emit) {
   if (!t.valid()) return;
   const Box bb = t.bbox();
-  const double inv_area = 1.0 / (static_cast<double>(pix_) * pix_);
+  const double inv_area = 1.0 / (static_cast<double>(pix) * pix);
 
-  const Coord64 gx0 = std::max<Coord64>((Coord64(bb.lo.x) - origin_.x) / pix_, 0);
-  const Coord64 gy0 = std::max<Coord64>((Coord64(bb.lo.y) - origin_.y) / pix_, 0);
-  const Coord64 gx1 = std::min<Coord64>((Coord64(bb.hi.x) - origin_.x) / pix_, nx_ - 1);
-  const Coord64 gy1 = std::min<Coord64>((Coord64(bb.hi.y) - origin_.y) / pix_, ny_ - 1);
+  const Coord64 gx0 = std::max<Coord64>((Coord64(bb.lo.x) - origin.x) / pix, 0);
+  const Coord64 gy0 = std::max<Coord64>((Coord64(bb.lo.y) - origin.y) / pix, 0);
+  const Coord64 gx1 = std::min<Coord64>((Coord64(bb.hi.x) - origin.x) / pix, nx - 1);
+  const Coord64 gy1 = std::min<Coord64>((Coord64(bb.hi.y) - origin.y) / pix, ny - 1);
   if (gx0 > gx1 || gy0 > gy1) return;
 
   std::vector<DPt> poly;
   std::vector<DPt> scratch;
   for (Coord64 iy = gy0; iy <= gy1; ++iy) {
-    const double py0 = static_cast<double>(origin_.y) + static_cast<double>(iy) * pix_;
-    const double py1 = py0 + pix_;
+    const double py0 = static_cast<double>(origin.y) + static_cast<double>(iy) * pix;
+    const double py1 = py0 + pix;
     for (Coord64 ix = gx0; ix <= gx1; ++ix) {
-      const double px0 = static_cast<double>(origin_.x) + static_cast<double>(ix) * pix_;
-      const double px1 = px0 + pix_;
+      const double px0 = static_cast<double>(origin.x) + static_cast<double>(ix) * pix;
+      const double px1 = px0 + pix;
 
       poly.clear();
       poly.push_back({double(t.xl0), double(t.y0)});
@@ -131,10 +138,38 @@ void Raster::add_coverage(const Trapezoid& t, double weight) {
 
       const double covered = std::abs(shoelace(poly));
       if (covered <= 0.0) continue;
-      data_[static_cast<std::size_t>(iy) * nx_ + static_cast<std::size_t>(ix)] +=
-          weight * covered * inv_area;
+      emit(static_cast<int>(ix), static_cast<int>(iy), covered * inv_area);
     }
   }
+}
+
+}  // namespace
+
+void Raster::add_coverage(const Trapezoid& t, double weight) {
+  visit_coverage_impl(t, origin_, pix_, nx_, ny_, [&](int ix, int iy, double frac) {
+    data_[static_cast<std::size_t>(iy) * nx_ + static_cast<std::size_t>(ix)] +=
+        weight * frac;
+  });
+}
+
+void Raster::visit_coverage(const Trapezoid& t,
+                            const std::function<void(int, int, double)>& emit) const {
+  visit_coverage_impl(t, origin_, pix_, nx_, ny_, emit);
+}
+
+double Raster::sample(double x, double y) const {
+  const double fx = (x - origin_.x) / pix_ - 0.5;
+  const double fy = (y - origin_.y) / pix_ - 0.5;
+  const int ix = static_cast<int>(std::floor(fx));
+  const int iy = static_cast<int>(std::floor(fy));
+  const double tx = fx - ix;
+  const double ty = fy - iy;
+  auto value = [&](int px, int py) -> double {
+    if (px < 0 || py < 0 || px >= nx_ || py >= ny_) return 0.0;
+    return data_[static_cast<std::size_t>(py) * nx_ + px];
+  };
+  return (1 - tx) * (1 - ty) * value(ix, iy) + tx * (1 - ty) * value(ix + 1, iy) +
+         (1 - tx) * ty * value(ix, iy + 1) + tx * ty * value(ix + 1, iy + 1);
 }
 
 void Raster::add_coverage(const std::vector<Trapezoid>& traps, double weight) {

@@ -5,6 +5,7 @@
 // coverage, not point sampling), so downstream dose integrals conserve area.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "geom/box.h"
@@ -33,12 +34,24 @@ class Raster {
   /// Pixel index containing the dbu point (clamped to the grid).
   std::pair<int, int> index_of(Point p) const;
 
+  /// Bilinear interpolation of the pixel grid at a dbu point (pixel values
+  /// are taken at pixel centers); pixels outside the grid contribute 0, so
+  /// sampling anywhere is safe.
+  double sample(double x, double y) const;
+
   /// Accumulates weight * (covered area fraction) of the trapezoid into every
   /// pixel it overlaps. Coverage is exact (convex clip + shoelace).
   void add_coverage(const Trapezoid& t, double weight = 1.0);
 
   /// Adds coverage for a whole list.
   void add_coverage(const std::vector<Trapezoid>& traps, double weight = 1.0);
+
+  /// Invokes emit(ix, iy, covered_area_fraction) for every pixel the
+  /// trapezoid overlaps, without mutating the raster — the primitive behind
+  /// add_coverage, exposed so callers can cache a shape's sparse footprint
+  /// (e.g. the PEC splat cache) instead of re-clipping every accumulation.
+  void visit_coverage(const Trapezoid& t,
+                      const std::function<void(int, int, double)>& emit) const;
 
   /// Sum of all pixel values.
   double sum() const;

@@ -38,10 +38,18 @@ PecResult correct_proximity(const ShotList& shots, const Psf& psf,
   result.shots = eval.shots();
   if (options.dose_classes > 0) quantize_doses(result.shots, options.dose_classes);
 
-  // Final error with the delivered (possibly quantized) doses.
-  ExposureEvaluator final_eval(result.shots, psf, options.exposure);
+  // Final error with the delivered (possibly quantized) doses, reusing the
+  // evaluator's cached neighbor grid and splat footprints (geometry is
+  // unchanged; only doses may have moved under quantization).
+  std::vector<double> final_doses(result.shots.size());
+  bool doses_changed = false;
+  for (std::size_t i = 0; i < result.shots.size(); ++i) {
+    final_doses[i] = result.shots[i].dose;
+    doses_changed |= final_doses[i] != eval.shots()[i].dose;
+  }
+  if (doses_changed) eval.set_doses(final_doses);
   double max_err = 0.0;
-  for (double ei : final_eval.exposures_at_centroids())
+  for (double ei : eval.exposures_at_centroids())
     max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
   result.final_max_error = max_err;
   return result;
@@ -66,7 +74,7 @@ PecResult density_pec(const ShotList& shots, const Psf& psf, const PecOptions& o
   const Coord pixel = std::max<Coord>(1, static_cast<Coord>(max_sigma / 4.0));
   Raster density(frame.bloated(margin), pixel);
   for (const Shot& s : shots) density.add_coverage(s.shape, 1.0);
-  gaussian_blur(density, max_sigma);
+  gaussian_blur(density, max_sigma, options.exposure.threads);
 
   PecResult result;
   result.shots = shots;
@@ -74,9 +82,10 @@ PecResult density_pec(const ShotList& shots, const Psf& psf, const PecOptions& o
     const Trapezoid& t = s.shape;
     const double cx = 0.25 * (double(t.xl0) + t.xr0 + t.xl1 + t.xr1);
     const double cy = 0.5 * (double(t.y0) + t.y1);
-    const auto [ix, iy] = density.index_of(
-        Point{static_cast<Coord>(std::lround(cx)), static_cast<Coord>(std::lround(cy))});
-    const double u = std::clamp(density.at(ix, iy), 0.0, 1.0);
+    // Bilinear sample with out-of-grid pixels contributing 0: centroids of
+    // edge shots can land a pixel outside the padded frame, where nearest-
+    // pixel indexing would read a clamped (wrong) border value.
+    const double u = std::clamp(density.sample(cx, cy), 0.0, 1.0);
     const double dose = (1.0 + 2.0 * eta) / (1.0 + 2.0 * eta * u);
     s.dose = std::clamp(dose * options.target, options.min_dose, options.max_dose);
   }

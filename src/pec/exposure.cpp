@@ -4,10 +4,25 @@
 #include <cmath>
 
 #include "util/contracts.h"
+#include "util/parallel.h"
 
 namespace ebl {
 
-void gaussian_blur(Raster& raster, double sigma_dbu) {
+namespace {
+
+// Epoch-stamped visited marks for duplicate rejection in neighbor queries
+// (a shot's bbox spans several grid cells, so it appears in several bins).
+// Thread-local so concurrent queries share nothing; bumping the epoch
+// invalidates all marks in O(1), so steady-state queries never allocate.
+struct VisitScratch {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+};
+thread_local VisitScratch t_visit;
+
+}  // namespace
+
+void gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
   expects(sigma_dbu > 0, "gaussian_blur: sigma must be positive");
   const double sigma_px = sigma_dbu / raster.pixel_size();
   const int radius = std::max(1, static_cast<int>(std::ceil(4.0 * sigma_px)));
@@ -23,32 +38,65 @@ void gaussian_blur(Raster& raster, double sigma_dbu) {
 
   const int nx = raster.width();
   const int ny = raster.height();
-  std::vector<double> tmp(static_cast<std::size_t>(nx) * ny, 0.0);
+  std::vector<double>& src = raster.data();
 
-  // Horizontal pass.
-  for (int y = 0; y < ny; ++y) {
-    for (int x = 0; x < nx; ++x) {
-      double acc = raster.at(x, y) * kernel[0];
-      for (int k = 1; k <= radius; ++k) {
-        if (x - k >= 0) acc += raster.at(x - k, y) * kernel[static_cast<std::size_t>(k)];
-        if (x + k < nx) acc += raster.at(x + k, y) * kernel[static_cast<std::size_t>(k)];
-      }
-      tmp[static_cast<std::size_t>(y) * nx + x] = acc;
-    }
-  }
-  // Vertical pass.
-  for (int y = 0; y < ny; ++y) {
-    for (int x = 0; x < nx; ++x) {
-      double acc = tmp[static_cast<std::size_t>(y) * nx + x] * kernel[0];
-      for (int k = 1; k <= radius; ++k) {
-        if (y - k >= 0) acc += tmp[static_cast<std::size_t>(y - k) * nx + x] *
-                               kernel[static_cast<std::size_t>(k)];
-        if (y + k < ny) acc += tmp[static_cast<std::size_t>(y + k) * nx + x] *
-                               kernel[static_cast<std::size_t>(k)];
-      }
-      raster.at(x, y) = acc;
-    }
-  }
+  // Scratch for the intermediate image, reused across calls (the PEC loop
+  // blurs the same-sized raster every iteration). Bound through a local
+  // reference: the pass lambdas must all use the *caller's* instance, and a
+  // thread_local name inside a lambda would resolve per executing thread.
+  static thread_local std::vector<double> tmp_storage;
+  std::vector<double>& tmp = tmp_storage;
+  // Size-only resize: the horizontal pass overwrites every element before
+  // anything reads it, so no zero-fill is needed.
+  tmp.resize(static_cast<std::size_t>(nx) * ny);
+
+  // Each pass parallelizes over output rows; a row is produced by one chunk
+  // in a fixed sequential tap order, so the result is bit-identical for any
+  // thread count. Out-of-range taps are skipped (no edge renormalization),
+  // matching the documented truncated-kernel semantics.
+  const double k0 = kernel[0];
+
+  // Horizontal pass: tmp row <- kernel * src row.
+  parallel_for(
+      static_cast<std::size_t>(ny),
+      [&](std::size_t y0, std::size_t y1) {
+        for (std::size_t y = y0; y < y1; ++y) {
+          const double* in = &src[y * nx];
+          double* out = &tmp[y * nx];
+          for (int x = 0; x < nx; ++x) out[x] = k0 * in[x];
+          for (int k = 1; k <= radius; ++k) {
+            const double wk = kernel[static_cast<std::size_t>(k)];
+            for (int x = k; x < nx; ++x) out[x] += wk * in[x - k];
+            const int lim = nx - k;
+            for (int x = 0; x < lim; ++x) out[x] += wk * in[x + k];
+          }
+        }
+      },
+      threads);
+
+  // Vertical pass: src row <- kernel * tmp column neighborhood, streamed row
+  // by row so every inner loop walks contiguous memory.
+  parallel_for(
+      static_cast<std::size_t>(ny),
+      [&](std::size_t y0, std::size_t y1) {
+        for (std::size_t y = y0; y < y1; ++y) {
+          const double* c = &tmp[y * nx];
+          double* out = &src[y * nx];
+          for (int x = 0; x < nx; ++x) out[x] = k0 * c[x];
+          for (int k = 1; k <= radius; ++k) {
+            const double wk = kernel[static_cast<std::size_t>(k)];
+            if (static_cast<std::int64_t>(y) - k >= 0) {
+              const double* a = &tmp[(y - k) * nx];
+              for (int x = 0; x < nx; ++x) out[x] += wk * a[x];
+            }
+            if (y + k < static_cast<std::size_t>(ny)) {
+              const double* b = &tmp[(y + k) * nx];
+              for (int x = 0; x < nx; ++x) out[x] += wk * b[x];
+            }
+          }
+        }
+      },
+      threads);
 }
 
 ExposureEvaluator::ExposureEvaluator(ShotList shots, const Psf& psf,
@@ -59,35 +107,79 @@ ExposureEvaluator::ExposureEvaluator(ShotList shots, const Psf& psf,
     (t.sigma >= opt_.long_range_threshold ? long_terms_ : short_terms_).push_back(t);
   }
 
-  // Spatial hash sized to the analytic cutoff of the widest short term.
+  // All-long PSFs (pure raster evaluation) need no neighbor structure at
+  // all: skip grid construction entirely.
+  if (!short_terms_.empty()) build_grid();
+  build_long_range();
+}
+
+void ExposureEvaluator::build_grid() {
   double max_short = 0.0;
   for (const PsfTerm& t : short_terms_) max_short = std::max(max_short, t.sigma);
   cutoff_ = opt_.cutoff_sigmas * max_short;
 
   Box frame;
-  for (const Shot& s : shots_) frame += s.shape.bbox();
+  double avg_w = 0.0, avg_h = 0.0;
+  for (const Shot& s : shots_) {
+    const Box bb = s.shape.bbox();
+    frame += bb;
+    avg_w += static_cast<double>(bb.width());
+    avg_h += static_cast<double>(bb.height());
+  }
+  avg_w /= static_cast<double>(shots_.size());
+  avg_h /= static_cast<double>(shots_.size());
   grid_origin_ = frame.lo;
-  cell_ = std::max<Coord>(1, static_cast<Coord>(std::max(cutoff_, 64.0)));
+
+  // Cell sized to the larger of the query reach and the typical shot, so a
+  // shot lands in O(1) cells and a query scans O(1) cells; then coarsened
+  // until the bin count is at most ~2 per shot (sparse giant extents).
+  double cell = std::max({cutoff_, avg_w, avg_h, 64.0});
+  const double max_extent =
+      std::max<double>({static_cast<double>(frame.width()),
+                        static_cast<double>(frame.height()), 1.0});
+  for (;;) {
+    const double bins = (static_cast<double>(frame.width()) / cell + 1) *
+                        (static_cast<double>(frame.height()) / cell + 1);
+    if (bins <= 2.0 * static_cast<double>(shots_.size()) + 64.0 || cell >= max_extent)
+      break;
+    cell *= 2.0;
+  }
+  cell_ = static_cast<Coord>(std::min(cell, 2.0e9));
+
   gx_ = static_cast<int>(frame.width() / cell_) + 1;
   gy_ = static_cast<int>(frame.height() / cell_) + 1;
-  bins_.assign(static_cast<std::size_t>(gx_) * gy_, {});
-  for (std::uint32_t i = 0; i < shots_.size(); ++i) {
-    const Box bb = shots_[i].shape.bbox();
-    const int x0 = static_cast<int>((Coord64(bb.lo.x) - grid_origin_.x) / cell_);
-    const int x1 = static_cast<int>((Coord64(bb.hi.x) - grid_origin_.x) / cell_);
-    const int y0 = static_cast<int>((Coord64(bb.lo.y) - grid_origin_.y) / cell_);
-    const int y1 = static_cast<int>((Coord64(bb.hi.y) - grid_origin_.y) / cell_);
-    for (int y = y0; y <= y1; ++y) {
-      for (int x = x0; x <= x1; ++x) {
-        bins_[static_cast<std::size_t>(y) * gx_ + x].push_back(i);
-      }
-    }
-  }
+  const std::size_t ncells = static_cast<std::size_t>(gx_) * gy_;
 
-  rebuild_long_range();
+  // CSR build: count cell occupancies, prefix-sum, then fill. Shots are
+  // visited in index order, so every bin lists its shots ascending — queries
+  // therefore sum candidates in a fixed order for any thread count.
+  grid_start_.assign(ncells + 1, 0);
+  auto cell_range = [&](const Box& bb, int& x0, int& x1, int& y0, int& y1) {
+    x0 = static_cast<int>((Coord64(bb.lo.x) - grid_origin_.x) / cell_);
+    x1 = static_cast<int>((Coord64(bb.hi.x) - grid_origin_.x) / cell_);
+    y0 = static_cast<int>((Coord64(bb.lo.y) - grid_origin_.y) / cell_);
+    y1 = static_cast<int>((Coord64(bb.hi.y) - grid_origin_.y) / cell_);
+  };
+  for (const Shot& s : shots_) {
+    int x0, x1, y0, y1;
+    cell_range(s.shape.bbox(), x0, x1, y0, y1);
+    for (int y = y0; y <= y1; ++y)
+      for (int x = x0; x <= x1; ++x)
+        ++grid_start_[static_cast<std::size_t>(y) * gx_ + x + 1];
+  }
+  for (std::size_t c = 1; c <= ncells; ++c) grid_start_[c] += grid_start_[c - 1];
+  grid_items_.resize(grid_start_[ncells]);
+  std::vector<std::uint32_t> cursor(grid_start_.begin(), grid_start_.end() - 1);
+  for (std::uint32_t i = 0; i < shots_.size(); ++i) {
+    int x0, x1, y0, y1;
+    cell_range(shots_[i].shape.bbox(), x0, x1, y0, y1);
+    for (int y = y0; y <= y1; ++y)
+      for (int x = x0; x <= x1; ++x)
+        grid_items_[cursor[static_cast<std::size_t>(y) * gx_ + x]++] = i;
+  }
 }
 
-void ExposureEvaluator::rebuild_long_range() {
+void ExposureEvaluator::build_long_range() {
   long_maps_.clear();
   if (long_terms_.empty()) return;
 
@@ -100,17 +192,84 @@ void ExposureEvaluator::rebuild_long_range() {
     const Box padded = frame.bloated(margin);
     const Coord pixel =
         std::max<Coord>(1, static_cast<Coord>(term.sigma / opt_.pixels_per_sigma));
-    auto raster = std::make_unique<Raster>(padded, pixel);
-    for (const Shot& s : shots_) raster->add_coverage(s.shape, s.dose);
-    gaussian_blur(*raster, term.sigma);
-    long_maps_.push_back(LongMap{term, std::move(raster)});
+    LongMap lm{term, std::make_unique<Raster>(padded, pixel), {}, {}, {}};
+
+    if (opt_.splat_cache) {
+      // Clip every shot against the grid once, then transpose the splats to
+      // a pixel-major CSR so re-accumulation is a flat weighted gather.
+      const Raster& r = *lm.map;
+      const int nx = r.width();
+      const std::size_t npx = static_cast<std::size_t>(nx) * r.height();
+      std::vector<std::uint32_t> splat_px;
+      std::vector<std::uint32_t> splat_shot;
+      std::vector<float> splat_frac;
+      splat_px.reserve(shots_.size() * 4);
+      splat_shot.reserve(shots_.size() * 4);
+      splat_frac.reserve(shots_.size() * 4);
+      for (std::uint32_t i = 0; i < shots_.size(); ++i) {
+        r.visit_coverage(shots_[i].shape, [&](int ix, int iy, double frac) {
+          splat_px.push_back(static_cast<std::uint32_t>(iy) * nx + ix);
+          splat_shot.push_back(i);
+          splat_frac.push_back(static_cast<float>(frac));
+        });
+      }
+      lm.px_start.assign(npx + 1, 0);
+      for (const std::uint32_t p : splat_px) ++lm.px_start[p + 1];
+      for (std::size_t p = 1; p <= npx; ++p) lm.px_start[p] += lm.px_start[p - 1];
+      lm.px_shot.resize(splat_px.size());
+      lm.px_frac.resize(splat_px.size());
+      std::vector<std::uint32_t> cursor(lm.px_start.begin(), lm.px_start.end() - 1);
+      for (std::size_t k = 0; k < splat_px.size(); ++k) {
+        const std::uint32_t slot = cursor[splat_px[k]]++;
+        lm.px_shot[slot] = splat_shot[k];
+        lm.px_frac[slot] = splat_frac[k];
+      }
+    }
+    long_maps_.push_back(std::move(lm));
+  }
+  accumulate_long_range();
+}
+
+void ExposureEvaluator::accumulate_long_range() {
+  if (long_maps_.empty()) return;
+
+  // Doses copied to a dense array so the per-pixel gather walks 8-byte
+  // strides instead of whole Shot records.
+  std::vector<double> doses(shots_.size());
+  for (std::size_t i = 0; i < shots_.size(); ++i) doses[i] = shots_[i].dose;
+
+  for (LongMap& lm : long_maps_) {
+    Raster& r = *lm.map;
+    std::vector<double>& data = r.data();
+    if (opt_.splat_cache) {
+      // Pixel-parallel: each pixel sums its cached splats in ascending cache
+      // order — independent outputs, so identical for any thread count.
+      parallel_for(
+          data.size(),
+          [&](std::size_t p0, std::size_t p1) {
+            for (std::size_t p = p0; p < p1; ++p) {
+              double acc = 0.0;
+              const std::uint32_t b = lm.px_start[p];
+              const std::uint32_t e = lm.px_start[p + 1];
+              for (std::uint32_t k = b; k < e; ++k) {
+                acc += static_cast<double>(lm.px_frac[k]) * doses[lm.px_shot[k]];
+              }
+              data[p] = acc;
+            }
+          },
+          opt_.threads);
+    } else {
+      std::fill(data.begin(), data.end(), 0.0);
+      for (const Shot& s : shots_) r.add_coverage(s.shape, s.dose);
+    }
+    gaussian_blur(r, lm.term.sigma, opt_.threads);
   }
 }
 
 void ExposureEvaluator::set_doses(const std::vector<double>& doses) {
   expects(doses.size() == shots_.size(), "set_doses: size mismatch");
   for (std::size_t i = 0; i < doses.size(); ++i) shots_[i].dose = doses[i];
-  rebuild_long_range();
+  accumulate_long_range();
 }
 
 std::pair<double, double> ExposureEvaluator::centroid(std::size_t i) const {
@@ -133,63 +292,62 @@ double ExposureEvaluator::exposure_at(double px, double py) const {
   double e = 0.0;
 
   if (!short_terms_.empty()) {
-    const int cx = static_cast<int>((px - grid_origin_.x) / cell_);
-    const int cy = static_cast<int>((py - grid_origin_.y) / cell_);
+    VisitScratch& vs = t_visit;
+    if (vs.stamp.size() < shots_.size()) {
+      vs.stamp.assign(shots_.size(), 0);
+      vs.epoch = 0;
+    }
+    if (++vs.epoch == 0) {  // epoch wrapped: all marks are stale anyway
+      std::fill(vs.stamp.begin(), vs.stamp.end(), 0);
+      vs.epoch = 1;
+    }
+    const std::uint32_t epoch = vs.epoch;
+
+    const int cx = static_cast<int>(std::floor((px - grid_origin_.x) / cell_));
+    const int cy = static_cast<int>(std::floor((py - grid_origin_.y) / cell_));
     const int reach = static_cast<int>(std::ceil(cutoff_ / cell_)) + 1;
-    // A shot spanning several cells appears in several bins: gather and
-    // dedup before summing.
-    std::vector<std::uint32_t> near;
+    const double cut2 = cutoff_ * cutoff_;
     for (int y = std::max(0, cy - reach); y <= std::min(gy_ - 1, cy + reach); ++y) {
       for (int x = std::max(0, cx - reach); x <= std::min(gx_ - 1, cx + reach); ++x) {
-        const auto& bin = bins_[static_cast<std::size_t>(y) * gx_ + x];
-        near.insert(near.end(), bin.begin(), bin.end());
-      }
-    }
-    std::sort(near.begin(), near.end());
-    near.erase(std::unique(near.begin(), near.end()), near.end());
-    for (const std::uint32_t idx : near) {
-      const Shot& s = shots_[idx];
-      const Box bb = s.shape.bbox();
-      // Cheap reject by bbox distance vs cutoff.
-      const double dx = std::max({double(bb.lo.x) - px, px - double(bb.hi.x), 0.0});
-      const double dy = std::max({double(bb.lo.y) - py, py - double(bb.hi.y), 0.0});
-      if (dx * dx + dy * dy > cutoff_ * cutoff_) continue;
-      for (const PsfTerm& term : short_terms_) {
-        e += s.dose * term_exposure_trapezoid(term, s.shape, px, py);
+        const std::size_t c = static_cast<std::size_t>(y) * gx_ + x;
+        for (std::uint32_t k = grid_start_[c]; k < grid_start_[c + 1]; ++k) {
+          const std::uint32_t idx = grid_items_[k];
+          if (vs.stamp[idx] == epoch) continue;  // already summed via another cell
+          vs.stamp[idx] = epoch;
+          const Shot& s = shots_[idx];
+          const Box bb = s.shape.bbox();
+          // Cheap reject by bbox distance vs cutoff.
+          const double dx = std::max({double(bb.lo.x) - px, px - double(bb.hi.x), 0.0});
+          const double dy = std::max({double(bb.lo.y) - py, py - double(bb.hi.y), 0.0});
+          if (dx * dx + dy * dy > cut2) continue;
+          for (const PsfTerm& term : short_terms_) {
+            e += s.dose * term_exposure_trapezoid(term, s.shape, px, py);
+          }
+        }
       }
     }
   }
 
   for (const LongMap& lm : long_maps_) {
-    const Raster& r = *lm.map;
-    // Bilinear sample at (px, py): raster value is mean coverage (possibly
-    // dose-weighted) per pixel; after normalized blur it is the long-range
-    // exposure directly (term weight folded below).
-    const double fx = (px - r.origin().x) / r.pixel_size() - 0.5;
-    const double fy = (py - r.origin().y) / r.pixel_size() - 0.5;
-    const int ix = static_cast<int>(std::floor(fx));
-    const int iy = static_cast<int>(std::floor(fy));
-    const double tx = fx - ix;
-    const double ty = fy - iy;
-    auto sample = [&](int x, int y) -> double {
-      if (x < 0 || y < 0 || x >= r.width() || y >= r.height()) return 0.0;
-      return r.at(x, y);
-    };
-    const double v = (1 - tx) * (1 - ty) * sample(ix, iy) +
-                     tx * (1 - ty) * sample(ix + 1, iy) +
-                     (1 - tx) * ty * sample(ix, iy + 1) +
-                     tx * ty * sample(ix + 1, iy + 1);
-    e += lm.term.weight * v;
+    // Raster value is mean dose-weighted coverage per pixel; after the
+    // normalized blur it is the long-range exposure directly (term weight
+    // folded here).
+    e += lm.term.weight * lm.map->sample(px, py);
   }
   return e;
 }
 
 std::vector<double> ExposureEvaluator::exposures_at_centroids() const {
   std::vector<double> out(shots_.size());
-  for (std::size_t i = 0; i < shots_.size(); ++i) {
-    const auto [cx, cy] = centroid(i);
-    out[i] = exposure_at(cx, cy);
-  }
+  parallel_for(
+      shots_.size(),
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const auto [cx, cy] = centroid(i);
+          out[i] = exposure_at(cx, cy);
+        }
+      },
+      opt_.threads);
   return out;
 }
 

@@ -4,15 +4,31 @@
 // Two-scale strategy (the same split commercial PEC engines use):
 //   - short-range terms (forward scattering, sigma comparable to feature
 //     size) are summed analytically over neighbor shots within a cutoff,
-//     found through a uniform spatial hash;
+//     found through a flat CSR spatial grid;
 //   - long-range terms (backscattering, sigma >> feature size) are evaluated
 //     on a coarse raster: dose-weighted coverage, separable Gaussian
 //     convolution, bilinear interpolation at the query point.
 // The split keeps evaluation O(neighbors) per point instead of O(shots),
-// with error bounded by the raster pixel (<= sigma/4) and the 4-sigma
-// cutoff (< 1e-6 of the term weight).
+// with error bounded by the raster pixel (<= sigma/4) and the cutoff_sigmas
+// truncation (< 1e-6 of the term weight at the default 4 sigma).
+//
+// Throughput design (the PEC inner loop calls this millions of times):
+//   - Neighbor queries are zero-allocation: the grid is a flat CSR layout
+//     (offsets + packed shot indices) and duplicate candidates (a shot's bbox
+//     spans several cells) are rejected with epoch-stamped visited marks in a
+//     thread-local scratch — no per-query vector, sort, or unique.
+//   - Each shot's sparse raster footprint (pixel, coverage-fraction) is
+//     computed once at construction and cached in a pixel-major CSR
+//     ("splat cache"); set_doses then re-accumulates every long-range map as
+//     a dose-weighted sum of cached splats instead of re-clipping trapezoid
+//     geometry — only the Gaussian blur is recomputed per iteration.
+//   - exposures_at_centroids, splat re-accumulation, and both blur passes
+//     run on the util/parallel.h thread pool. Results are bit-identical for
+//     any thread count: work is only ever split over disjoint output
+//     elements, each of which is computed in a fixed sequential order.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -24,20 +40,38 @@ namespace ebl {
 
 struct ExposureOptions {
   /// Terms with sigma >= this many dbu go to the raster path; others are
-  /// analytic. 0 = auto (raster for sigma > 16 pixels worth of shots...);
-  /// the default sends everything below 400 dbu to the analytic path.
+  /// analytic. The default sends everything below 400 dbu to the analytic
+  /// path. Lowering it trades accuracy (raster error ~ pixel/sigma) for
+  /// speed on mid-range terms.
   double long_range_threshold = 400.0;
 
-  /// Raster pixel = sigma / this factor (accuracy/speed knob).
+  /// Raster pixel = sigma / this factor (accuracy/speed knob). Larger means
+  /// finer long-range maps: cost scales quadratically, error falls roughly
+  /// quadratically.
   double pixels_per_sigma = 4.0;
 
-  /// Analytic neighbor cutoff in sigmas.
+  /// Analytic neighbor cutoff in sigmas. 4 keeps the truncation error below
+  /// ~1e-6 of each short term's weight; raise it when validating against
+  /// brute-force references at tighter tolerances.
   double cutoff_sigmas = 4.0;
+
+  /// Worker threads for centroid sweeps, splat re-accumulation, and the blur
+  /// passes. 0 = auto: the EBL_THREADS environment variable if set, else
+  /// std::thread::hardware_concurrency(). Results are identical for any
+  /// value (see the header comment).
+  int threads = 0;
+
+  /// Cache per-shot sparse raster footprints at construction so dose updates
+  /// only re-weight cached splats (memory ~ a few pixels per shot per
+  /// long-range term). Disable to fall back to re-rasterizing the geometry
+  /// on every set_doses — only useful for benchmarking the cache itself.
+  bool splat_cache = true;
 };
 
 /// Evaluates exposure for a fixed shot geometry; per-shot doses can be
-/// updated cheaply-ish (the long-range raster is rebuilt, the neighbor
-/// structure is reused). Query points may be anywhere.
+/// updated cheaply (cached splats are re-weighted, the neighbor structure is
+/// reused, only the long-range blur is recomputed). Query points may be
+/// anywhere. Queries are thread-safe and allocation-free after construction.
 class ExposureEvaluator {
  public:
   ExposureEvaluator(ShotList shots, const Psf& psf, ExposureOptions options = {});
@@ -52,31 +86,43 @@ class ExposureEvaluator {
   double exposure_at(double px, double py) const;
   double exposure_at(Point p) const { return exposure_at(p.x, p.y); }
 
-  /// Exposures at every shot's representative point (centroid).
+  /// Exposures at every shot's representative point (centroid). Runs on the
+  /// thread pool; output is identical for any thread count.
   std::vector<double> exposures_at_centroids() const;
 
   /// Representative (centroid) point of shot i.
   std::pair<double, double> centroid(std::size_t i) const;
 
  private:
-  void rebuild_long_range();
+  void build_grid();
+  void build_long_range();
+  void accumulate_long_range();
 
   ShotList shots_;
   std::vector<PsfTerm> short_terms_;
   std::vector<PsfTerm> long_terms_;
   ExposureOptions opt_;
 
-  // Spatial hash over shot bboxes for the analytic path.
+  // Flat CSR spatial grid over shot bboxes for the analytic path: shots of
+  // cell (x, y) are grid_items_[grid_start_[y * gx_ + x] ..
+  // grid_start_[y * gx_ + x + 1]). Empty when there are no short terms.
   Coord cell_ = 1;
   Point grid_origin_{0, 0};
   int gx_ = 0, gy_ = 0;
-  std::vector<std::vector<std::uint32_t>> bins_;
+  std::vector<std::uint32_t> grid_start_;
+  std::vector<std::uint32_t> grid_items_;
   double cutoff_ = 0.0;
 
-  // One convolved raster per long-range term.
+  // One convolved raster per long-range term, plus the pixel-major splat
+  // cache that rebuilds it: pixel p's accumulated (pre-blur) value is
+  // sum over k in [px_start[p], px_start[p]+1) of px_frac[k] *
+  // dose[px_shot[k]], always summed in ascending-k order for determinism.
   struct LongMap {
     PsfTerm term;
     std::unique_ptr<Raster> map;
+    std::vector<std::uint32_t> px_start;
+    std::vector<std::uint32_t> px_shot;
+    std::vector<float> px_frac;
   };
   std::vector<LongMap> long_maps_;
 };
@@ -84,7 +130,9 @@ class ExposureEvaluator {
 /// Separable Gaussian blur of a raster (kernel truncated at 4 sigma), with
 /// sigma given in dbu. The raster is interpreted as coverage-per-pixel; the
 /// result is the normalized convolution such that an all-ones raster stays
-/// all-ones in the interior.
-void gaussian_blur(Raster& raster, double sigma_dbu);
+/// all-ones in the interior. Row/column passes run on the thread pool
+/// (threads: 0 = auto, see ExposureOptions::threads); output is identical
+/// for any thread count.
+void gaussian_blur(Raster& raster, double sigma_dbu, int threads = 0);
 
 }  // namespace ebl

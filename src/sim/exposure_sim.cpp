@@ -29,7 +29,7 @@ Raster simulate_exposure(const ShotList& shots, const Psf& psf,
   Raster result(frame.bloated(margin), pixel);
   for (const PsfTerm& term : psf.terms()) {
     Raster blurred = base;
-    gaussian_blur(blurred, term.sigma);
+    gaussian_blur(blurred, term.sigma, options.threads);
     auto& out = result.data();
     const auto& in = blurred.data();
     for (std::size_t i = 0; i < out.size(); ++i) out[i] += term.weight * in[i];

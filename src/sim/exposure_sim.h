@@ -19,6 +19,10 @@ struct SimOptions {
   /// Extra frame margin in dbu beyond the pattern bbox; 0 = auto
   /// (4 * max sigma).
   Coord margin = 0;
+
+  /// Worker threads for the per-term Gaussian blurs (0 = auto: EBL_THREADS
+  /// env var, else hardware concurrency). Output is identical for any value.
+  int threads = 0;
 };
 
 /// Energy deposition map of a dosed shot list: coverage rasterization of the

@@ -1,0 +1,165 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+// Set while a pool worker (or the caller inside parallel_for) is executing
+// chunks; nested parallel_for calls then run inline instead of re-entering
+// the pool.
+thread_local bool t_in_parallel_region = false;
+
+/// Persistent single-job pool: parallel_for publishes one chunked job, wakes
+/// workers, participates, and waits. Only one job is active at a time (the
+/// library parallelizes at one level; nested calls run inline).
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void run(std::size_t n, int threads,
+           const std::function<void(std::size_t, std::size_t)>& chunk) {
+    // Fixed grain: several chunks per thread for load balance. The grain is a
+    // function of (n, threads) only, but results must not depend on it anyway.
+    const std::size_t parts = static_cast<std::size_t>(threads) * 4;
+    const std::size_t grain = (n + parts - 1) / parts;
+
+    std::unique_lock<std::mutex> lock(job_mutex_);  // serialize jobs
+    {
+      std::lock_guard<std::mutex> state(mutex_);
+      job_fn_ = &chunk;
+      job_n_ = n;
+      job_grain_ = grain;
+      job_next_.store(0, std::memory_order_relaxed);
+      job_error_ = nullptr;
+      ++job_id_;
+      workers_needed_ = threads - 1;
+      workers_running_ = 0;
+      ensure_workers_locked(threads - 1);
+    }
+    wake_cv_.notify_all();
+
+    t_in_parallel_region = true;
+    work();
+    t_in_parallel_region = false;
+
+    {
+      // Wait until every worker that joined the job has drained its chunks.
+      std::unique_lock<std::mutex> state(mutex_);
+      done_cv_.wait(state, [&] { return workers_running_ == 0; });
+      job_fn_ = nullptr;
+      if (job_error_) std::rethrow_exception(job_error_);
+    }
+  }
+
+ private:
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> state(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void ensure_workers_locked(int count) {
+    while (static_cast<int>(threads_.size()) < count) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    t_in_parallel_region = true;
+    std::uint64_t last_job = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> state(mutex_);
+        wake_cv_.wait(state, [&] {
+          return stop_ || (job_fn_ && job_id_ != last_job && workers_needed_ > 0);
+        });
+        if (stop_) return;
+        last_job = job_id_;
+        --workers_needed_;
+        ++workers_running_;
+      }
+      work();
+      {
+        std::lock_guard<std::mutex> state(mutex_);
+        --workers_running_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  void work() {
+    const std::size_t n = job_n_;
+    const std::size_t grain = job_grain_;
+    for (;;) {
+      const std::size_t begin = job_next_.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + grain, n);
+      try {
+        (*job_fn_)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> state(mutex_);
+        if (!job_error_) job_error_ = std::current_exception();
+      }
+    }
+  }
+
+  std::mutex job_mutex_;  // held by the caller for the whole job
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+
+  // State of the active job (guarded by mutex_ except the atomic cursor).
+  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_grain_ = 1;
+  std::atomic<std::size_t> job_next_{0};
+  std::exception_ptr job_error_;
+  std::uint64_t job_id_ = 0;
+  int workers_needed_ = 0;
+  int workers_running_ = 0;
+};
+
+}  // namespace
+
+int resolve_threads(int requested) {
+  expects(requested >= 0, "resolve_threads: thread count must be >= 0");
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("EBL_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& chunk,
+                  int threads) {
+  if (n == 0) return;
+  const int t = std::min<std::size_t>(resolve_threads(threads), n);
+  if (t <= 1 || t_in_parallel_region) {
+    chunk(0, n);
+    return;
+  }
+  ThreadPool::instance().run(n, t, chunk);
+}
+
+}  // namespace ebl

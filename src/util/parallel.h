@@ -1,0 +1,40 @@
+// Minimal thread-pool parallel-for substrate for the compute hot paths.
+//
+// Design constraints (shared by every user in this codebase):
+//   - Determinism: callers get identical results for any thread count. The
+//     pool only hands out index ranges; it is the caller's job to make each
+//     index's output independent of its neighbors (parallelize over disjoint
+//     output elements, never over a shared accumulator).
+//   - Zero steady-state allocation: one persistent pool, workers are spawned
+//     lazily on first use and grown on demand, never per call.
+//   - Nested calls degrade gracefully: a parallel_for issued from inside a
+//     worker runs inline on that worker (no deadlock, no oversubscription).
+//
+// Thread-count resolution (resolve_threads):
+//   requested > 0        -> exactly that many threads;
+//   requested == 0       -> the EBL_THREADS environment variable if set to a
+//                           positive integer, else std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ebl {
+
+/// Resolves a user-facing thread-count knob (0 = auto) to a concrete count
+/// >= 1. See the header comment for the resolution order.
+int resolve_threads(int requested);
+
+/// Runs chunk(begin, end) over disjoint sub-ranges covering [0, n) on up to
+/// @p threads threads (0 = auto per resolve_threads; the calling thread
+/// participates). Blocks until every chunk completed. Exceptions thrown by
+/// chunks are captured and the first one is rethrown on the caller.
+///
+/// The chunk decomposition is an implementation detail: for deterministic
+/// results, chunk(b, e) must write only to outputs derived from indices in
+/// [b, e) and read only state that is constant for the duration of the call.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& chunk,
+                  int threads = 0);
+
+}  // namespace ebl

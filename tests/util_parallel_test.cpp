@@ -1,0 +1,106 @@
+// Tests for the thread-pool parallel_for substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace ebl {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 10007;  // prime: not a multiple of any grain
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        ASSERT_LE(b, e);
+        ASSERT_LE(e, n);
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+      },
+      8);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, EmptyRangeInvokesNothing) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; }, 4);
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleElementRunsInline) {
+  int calls = 0;
+  parallel_for(1, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  const std::size_t n = 64;
+  std::vector<std::atomic<int>> hits(n * n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          parallel_for(
+              n,
+              [&](std::size_t jb, std::size_t je) {
+                for (std::size_t j = jb; j < je; ++j) hits[i * n + j].fetch_add(1);
+              },
+              4);
+        }
+      },
+      4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, FirstExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          1000,
+          [](std::size_t b, std::size_t) {
+            if (b == 0) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<std::size_t> sum{0};
+  parallel_for(
+      100,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) sum.fetch_add(i);
+      },
+      4);
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ResolveThreads, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(1), 1);
+}
+
+TEST(ResolveThreads, AutoIsPositive) { EXPECT_GE(resolve_threads(0), 1); }
+
+TEST(ResolveThreads, EnvVarOverridesAuto) {
+  const char* saved = std::getenv("EBL_THREADS");
+  const std::string saved_value = saved ? saved : "";
+  setenv("EBL_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5);
+  EXPECT_EQ(resolve_threads(2), 2);  // explicit request still wins
+  if (saved)
+    setenv("EBL_THREADS", saved_value.c_str(), 1);
+  else
+    unsetenv("EBL_THREADS");
+}
+
+}  // namespace
+}  // namespace ebl
