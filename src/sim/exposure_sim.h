@@ -6,6 +6,7 @@
 
 #include "fracture/shot.h"
 #include "geom/raster.h"
+#include "pec/exposure.h"  // BlurBackend, blur primitives
 #include "pec/psf.h"
 #include "sim/resist.h"
 
@@ -23,6 +24,14 @@ struct SimOptions {
   /// Worker threads for the per-term Gaussian blurs (0 = auto: EBL_THREADS
   /// env var, else hardware concurrency). Output is identical for any value.
   int threads = 0;
+
+  /// Convolution backend for the per-term blurs. The simulator rasters at
+  /// the forward-scattering resolution, so backscatter kernels span hundreds
+  /// of pixels — exactly where the FFT engine wins: kAuto transforms the
+  /// dose map once and applies every wide term's spectrum to it, keeping the
+  /// separable passes only for narrow terms. Backend choice moves results by
+  /// no more than floating-point rounding.
+  BlurBackend blur_backend = BlurBackend::kAuto;
 };
 
 /// Energy deposition map of a dosed shot list: coverage rasterization of the

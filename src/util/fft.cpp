@@ -1,0 +1,302 @@
+#include "util/fft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/parallel.h"
+
+namespace ebl {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::size_t fft_next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Fft::Fft(std::size_t n) : n_(n) {
+  expects(is_pow2(n), "Fft: size must be a power of two");
+  rev_.resize(n_);
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n_) ++bits;
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t r = 0;
+    for (int b = 0; b < bits; ++b) r |= ((i >> b) & 1u) << (bits - 1 - b);
+    rev_[i] = static_cast<std::uint32_t>(r);
+  }
+  // Stage-packed twiddles: the stage of butterfly span m stores the h = m/2
+  // factors exp(-2 pi i j / m) at offset h - 1 (offsets 0, 1, 3, 7, ...).
+  if (n_ > 1) tw_.resize(n_ - 1);
+  for (std::size_t m = 2; m <= n_; m <<= 1) {
+    const std::size_t h = m >> 1;
+    for (std::size_t j = 0; j < h; ++j) {
+      const double a = -2.0 * kPi * static_cast<double>(j) / static_cast<double>(m);
+      tw_[h - 1 + j] = {std::cos(a), std::sin(a)};
+    }
+  }
+}
+
+void Fft::transform(std::complex<double>* a, bool inverse) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = rev_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // The twiddle's imaginary part flips sign for the inverse; everything else
+  // is identical, so one butterfly loop serves both directions.
+  const double s = inverse ? -1.0 : 1.0;
+  for (std::size_t m = 2; m <= n_; m <<= 1) {
+    const std::size_t h = m >> 1;
+    const std::complex<double>* w = &tw_[h - 1];
+    for (std::size_t k = 0; k < n_; k += m) {
+      for (std::size_t j = 0; j < h; ++j) {
+        const double wr = w[j].real();
+        const double wi = s * w[j].imag();
+        std::complex<double>& lo = a[k + j];
+        std::complex<double>& hi = a[k + j + h];
+        const double tr = hi.real() * wr - hi.imag() * wi;
+        const double ti = hi.real() * wi + hi.imag() * wr;
+        const double ur = lo.real();
+        const double ui = lo.imag();
+        lo = {ur + tr, ui + ti};
+        hi = {ur - tr, ui - ti};
+      }
+    }
+  }
+}
+
+RealFft::RealFft(std::size_t n) : n_(n), half_(is_pow2(n) && n >= 2 ? n / 2 : 1) {
+  expects(is_pow2(n) && n >= 2, "RealFft: size must be a power of two >= 2");
+  // Untangle twiddles exp(-2 pi i k / n) for the paired bins k = 0 .. n/4.
+  w_.resize(n_ / 4 + 1);
+  for (std::size_t k = 0; k < w_.size(); ++k) {
+    const double a = -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n_);
+    w_[k] = {std::cos(a), std::sin(a)};
+  }
+}
+
+void RealFft::forward(const double* in, std::complex<double>* spec) const {
+  const std::size_t h = n_ / 2;
+  if (h == 1) {
+    spec[0] = in[0] + in[1];
+    spec[1] = in[0] - in[1];
+    return;
+  }
+  // Pack adjacent real pairs into complex slots and run the half-size FFT.
+  for (std::size_t j = 0; j < h; ++j) spec[j] = {in[2 * j], in[2 * j + 1]};
+  half_.forward(spec);
+
+  // Untangle: with Ze/Zo the even/odd-sample spectra hidden in Z,
+  //   X[k]     = Ze + w^k Zo,
+  //   X[h - k] = conj(Ze - w^k Zo),        w^k = exp(-2 pi i k / n).
+  const std::complex<double> z0 = spec[0];
+  spec[0] = {z0.real() + z0.imag(), 0.0};
+  spec[h] = {z0.real() - z0.imag(), 0.0};
+  for (std::size_t k = 1; k <= h / 2; ++k) {
+    const std::size_t kc = h - k;
+    const std::complex<double> zk = spec[k];
+    const std::complex<double> zkc = spec[kc];
+    const std::complex<double> ze = 0.5 * (zk + std::conj(zkc));
+    const std::complex<double> zo_2i = zk - std::conj(zkc);  // 2 i Zo
+    const std::complex<double> zo{0.5 * zo_2i.imag(), -0.5 * zo_2i.real()};
+    const std::complex<double> t = w_[k] * zo;
+    spec[k] = ze + t;
+    spec[kc] = std::conj(ze - t);
+  }
+}
+
+void RealFft::inverse(std::complex<double>* spec, double* out) const {
+  const std::size_t h = n_ / 2;
+  if (h == 1) {
+    out[0] = 0.5 * (spec[0].real() + spec[1].real());
+    out[1] = 0.5 * (spec[0].real() - spec[1].real());
+    return;
+  }
+  // Re-tangle the packed half-size spectrum: invert the forward identities
+  // (Zo = conj(w^k) (X[k] - conj(X[h-k])) / 2), then one half-size inverse.
+  const std::complex<double> x0 = spec[0];
+  const std::complex<double> xh = spec[h];
+  spec[0] = {0.5 * (x0.real() + xh.real()), 0.5 * (x0.real() - xh.real())};
+  for (std::size_t k = 1; k <= h / 2; ++k) {
+    const std::size_t kc = h - k;
+    const std::complex<double> xk = spec[k];
+    const std::complex<double> xkc = spec[kc];
+    const std::complex<double> ze = 0.5 * (xk + std::conj(xkc));
+    const std::complex<double> wzo = 0.5 * (xk - std::conj(xkc));  // w^k Zo
+    const std::complex<double> zo = std::conj(w_[k]) * wzo;
+    // Z[k] = Ze + i Zo; Z[h-k] = conj(Ze) + i conj(Zo).
+    spec[k] = {ze.real() - zo.imag(), ze.imag() + zo.real()};
+    spec[kc] = {ze.real() + zo.imag(), -ze.imag() + zo.real()};
+  }
+  half_.inverse(spec);
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = spec[j].real();
+    out[2 * j + 1] = spec[j].imag();
+  }
+}
+
+FftConvolver::FftConvolver(int nx, int ny, int max_radius, int threads)
+    : nx_(nx),
+      ny_(ny),
+      max_radius_(max_radius),
+      threads_(threads),
+      px_(fft_next_pow2(static_cast<std::size_t>(nx) + static_cast<std::size_t>(std::max(1, max_radius)))),
+      py_(fft_next_pow2(static_cast<std::size_t>(ny) + static_cast<std::size_t>(std::max(1, max_radius)))),
+      w_(px_ / 2 + 1),
+      row_(px_),  // nx, max_radius >= 1 makes px_ >= 2, as RealFft requires
+      col_(py_) {
+  expects(nx >= 1 && ny >= 1, "FftConvolver: image must be at least 1x1");
+  expects(max_radius >= 1, "FftConvolver: max_radius must be >= 1");
+  spec_.resize(w_ * py_);
+}
+
+namespace {
+
+/// Rows are processed in blocks so the row-spectrum <-> column-major
+/// transposes touch each cache line a handful of times instead of once per
+/// element. 32 rows of complex bins keep the block under a few MB for any
+/// plan in this codebase.
+constexpr std::size_t kRowBlock = 32;
+
+}  // namespace
+
+void FftConvolver::load(const double* img) {
+  const std::size_t nblocks =
+      (static_cast<std::size_t>(ny_) + kRowBlock - 1) / kRowBlock;
+
+  // Row pass: real FFT of each zero-padded image row, transposed into the
+  // column-major spectrum so the column pass walks contiguous memory.
+  parallel_for(
+      nblocks,
+      [&](std::size_t b0, std::size_t b1) {
+        thread_local std::vector<double> rowbuf;
+        thread_local std::vector<std::complex<double>> blockspec;
+        rowbuf.resize(px_);
+        blockspec.resize(kRowBlock * w_);
+        for (std::size_t b = b0; b < b1; ++b) {
+          const std::size_t y0 = b * kRowBlock;
+          const std::size_t rows = std::min(kRowBlock, static_cast<std::size_t>(ny_) - y0);
+          for (std::size_t r = 0; r < rows; ++r) {
+            const double* src = img + (y0 + r) * static_cast<std::size_t>(nx_);
+            std::memcpy(rowbuf.data(), src, sizeof(double) * static_cast<std::size_t>(nx_));
+            std::fill(rowbuf.begin() + nx_, rowbuf.end(), 0.0);
+            row_.forward(rowbuf.data(), blockspec.data() + r * w_);
+          }
+          for (std::size_t w = 0; w < w_; ++w) {
+            std::complex<double>* dst = spec_.data() + w * py_ + y0;
+            for (std::size_t r = 0; r < rows; ++r) dst[r] = blockspec[r * w_ + w];
+          }
+        }
+      },
+      threads_);
+
+  // Column pass: plain complex FFT down each (contiguous) column; rows past
+  // the image are the zero padding.
+  parallel_for(
+      w_,
+      [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t w = c0; w < c1; ++w) {
+          std::complex<double>* col = spec_.data() + w * py_;
+          std::fill(col + ny_, col + py_, std::complex<double>{0.0, 0.0});
+          col_.forward(col);
+        }
+      },
+      threads_);
+}
+
+void FftConvolver::convolve(const std::vector<double>& taps, double* out) const {
+  expects(!taps.empty(), "FftConvolver::convolve: empty kernel");
+  expects(static_cast<int>(taps.size()) - 1 <= max_radius_,
+          "FftConvolver::convolve: kernel wider than the planned max_radius");
+  work_.resize(spec_.size());
+
+  // Exact spectra of the truncated symmetric kernel along each padded axis:
+  // K[m] = t0 + 2 sum_j t[j] cos(2 pi j m / P). The inverse-transform
+  // scaling (1/py for the column FFT, 2/px for the packed row FFT) is folded
+  // into kx so the spectral multiply is the only scaled pass.
+  const std::size_t radius = taps.size() - 1;
+  std::vector<double> kx(w_);
+  std::vector<double> ky(py_);
+  const double scale =
+      1.0 / (static_cast<double>(py_) * (static_cast<double>(px_) / 2.0));
+  for (std::size_t m = 0; m < w_; ++m) {
+    double v = taps[0];
+    for (std::size_t j = 1; j <= radius; ++j) {
+      v += 2.0 * taps[j] *
+           std::cos(2.0 * kPi * static_cast<double>(j) * static_cast<double>(m) /
+                    static_cast<double>(px_));
+    }
+    kx[m] = v * scale;
+  }
+  for (std::size_t m = 0; m < py_; ++m) {
+    double v = taps[0];
+    for (std::size_t j = 1; j <= radius; ++j) {
+      v += 2.0 * taps[j] *
+           std::cos(2.0 * kPi * static_cast<double>(j) * static_cast<double>(m) /
+                    static_cast<double>(py_));
+    }
+    ky[m] = v;
+  }
+
+  // Column pass: multiply the cached spectrum by the separable kernel
+  // spectrum and inverse-transform each column into the scratch spectrum.
+  parallel_for(
+      w_,
+      [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t w = c0; w < c1; ++w) {
+          const std::complex<double>* src = spec_.data() + w * py_;
+          std::complex<double>* dst = work_.data() + w * py_;
+          const double cw = kx[w];
+          for (std::size_t y = 0; y < py_; ++y) dst[y] = src[y] * (cw * ky[y]);
+          col_.inverse(dst);
+        }
+      },
+      threads_);
+
+  // Row pass: gather each image row's bins back out of the column-major
+  // scratch (block-transposed) and real-inverse-transform; rows in the
+  // padding are never materialized.
+  const std::size_t nblocks =
+      (static_cast<std::size_t>(ny_) + kRowBlock - 1) / kRowBlock;
+  parallel_for(
+      nblocks,
+      [&](std::size_t b0, std::size_t b1) {
+        thread_local std::vector<double> rowbuf;
+        thread_local std::vector<std::complex<double>> blockspec;
+        rowbuf.resize(px_);
+        blockspec.resize(kRowBlock * w_);
+        for (std::size_t b = b0; b < b1; ++b) {
+          const std::size_t y0 = b * kRowBlock;
+          const std::size_t rows = std::min(kRowBlock, static_cast<std::size_t>(ny_) - y0);
+          for (std::size_t w = 0; w < w_; ++w) {
+            const std::complex<double>* src = work_.data() + w * py_ + y0;
+            for (std::size_t r = 0; r < rows; ++r) blockspec[r * w_ + w] = src[r];
+          }
+          for (std::size_t r = 0; r < rows; ++r) {
+            row_.inverse(blockspec.data() + r * w_, rowbuf.data());
+            std::memcpy(out + (y0 + r) * static_cast<std::size_t>(nx_), rowbuf.data(),
+                        sizeof(double) * static_cast<std::size_t>(nx_));
+          }
+        }
+      },
+      threads_);
+}
+
+double FftConvolver::transform_cost(int nx, int ny, int max_radius) {
+  const double px = static_cast<double>(
+      fft_next_pow2(static_cast<std::size_t>(nx) + static_cast<std::size_t>(std::max(1, max_radius))));
+  const double py = static_cast<double>(
+      fft_next_pow2(static_cast<std::size_t>(ny) + static_cast<std::size_t>(std::max(1, max_radius))));
+  // ~2.5 flops per point per log2 level for a real-optimized transform.
+  return 2.5 * px * py * (std::log2(px) + std::log2(py));
+}
+
+}  // namespace ebl

@@ -1,0 +1,132 @@
+// Dependency-free iterative radix-2 FFT and a 2D real convolution engine.
+//
+// Built for the PEC/simulation blur path: a raster is convolved with several
+// wide separable kernels per iteration, which is the textbook case for a
+// padded real-to-complex FFT — transform the map once, multiply by each
+// kernel's spectrum, inverse-transform. Cost is independent of kernel width,
+// and the forward transform amortizes over kernels.
+//
+// Layers (bottom up):
+//   - Fft: in-place iterative radix-2 complex transform for one power-of-two
+//     size; bit-reversal and per-stage twiddles are precomputed at plan time
+//     so the hot loop is butterflies only.
+//   - RealFft: real-input/real-output transform of size n via the packed
+//     half-size complex FFT (two real samples per complex slot), producing
+//     the n/2+1 non-redundant bins.
+//   - FftConvolver: a 2D plan for images of one fixed size. Rows are
+//     transformed with RealFft and columns with Fft; both passes run on the
+//     util/parallel.h thread pool through cache-tiled transposes. Kernels
+//     are given as symmetric separable taps (t[0] center, t[j] at offset
+//     +-j); their spectra are evaluated as exact cosine sums, so the result
+//     equals the direct sliding-window convolution of the *same truncated
+//     kernel* to floating-point rounding — not an analytic approximation.
+//     Zero padding to the next power of two past the kernel support makes
+//     the convolution linear (zero boundaries), never circular.
+//
+// Determinism: every output element is computed in a fixed sequential order
+// by exactly one chunk, so results are bit-identical for any thread count
+// (same contract as the rest of the codebase).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ebl {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t fft_next_pow2(std::size_t n);
+
+/// In-place iterative radix-2 complex FFT plan for one power-of-two size.
+class Fft {
+ public:
+  explicit Fft(std::size_t n);  ///< n must be a power of two (>= 1)
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT: a[k] <- sum_j a[j] exp(-2 pi i j k / n).
+  void forward(std::complex<double>* a) const { transform(a, false); }
+
+  /// In-place unscaled inverse: inverse(forward(x)) == n * x. Callers fold
+  /// the 1/n into a spectral weight instead of paying an extra pass.
+  void inverse(std::complex<double>* a) const { transform(a, true); }
+
+ private:
+  void transform(std::complex<double>* a, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::uint32_t> rev_;           // bit-reversal permutation
+  std::vector<std::complex<double>> tw_;     // stage-packed forward twiddles
+};
+
+/// Real-input FFT of even power-of-two size n, packed into the half-size
+/// complex transform. Spectra hold the n/2+1 non-redundant bins (DC through
+/// Nyquist); the upper half is implied by conjugate symmetry.
+class RealFft {
+ public:
+  explicit RealFft(std::size_t n);  ///< n must be a power of two >= 2
+
+  std::size_t size() const { return n_; }
+
+  /// spec (n/2+1 bins) <- DFT of in (n reals). spec may not alias in.
+  void forward(const double* in, std::complex<double>* spec) const;
+
+  /// out (n reals) <- unscaled inverse of spec; the spec buffer is clobbered.
+  /// inverse(forward(x)) == (n/2) * x — see Fft::inverse for the rationale.
+  void inverse(std::complex<double>* spec, double* out) const;
+
+ private:
+  std::size_t n_;
+  Fft half_;
+  std::vector<std::complex<double>> w_;  // untangle twiddles exp(-2 pi i k/n)
+};
+
+/// 2D linear-convolution engine for repeatedly blurring same-sized real
+/// images with symmetric separable kernels. Plan once, then per image:
+/// load() computes the padded forward transform; each convolve() multiplies
+/// that cached spectrum by a kernel's (exact, separable) spectrum and
+/// inverse-transforms. Boundaries are zero-padded (linear convolution with
+/// out-of-image taps contributing zero), matching the truncated-kernel
+/// semantics of the direct separable blur.
+class FftConvolver {
+ public:
+  /// Plans for nx-by-ny images and kernels of half-width up to max_radius
+  /// taps. Padded sizes are the next powers of two past nx + max_radius and
+  /// ny + max_radius, which is exactly enough to keep wraparound out of the
+  /// cropped output.
+  FftConvolver(int nx, int ny, int max_radius, int threads = 0);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t padded_x() const { return px_; }
+  std::size_t padded_y() const { return py_; }
+
+  /// Caches the forward transform of img (row-major, nx*ny).
+  void load(const double* img);
+
+  /// out (row-major, nx*ny) <- loaded image convolved with the separable
+  /// symmetric kernel taps[0..r] (applied along both axes). Requires
+  /// taps.size() - 1 <= max_radius and a prior load(). out may alias the
+  /// loaded image (the spectrum is cached, not the pixels). Not reentrant:
+  /// convolve calls on one plan must not run concurrently.
+  void convolve(const std::vector<double>& taps, double* out) const;
+
+  /// Flop estimate of one padded forward or inverse transform, for
+  /// direct-vs-FFT backend decisions (see fft_blur_wins in pec/exposure.h,
+  /// whose throughput calibration lives beside it in pec/exposure.cpp).
+  static double transform_cost(int nx, int ny, int max_radius);
+
+ private:
+  int nx_, ny_;
+  int max_radius_;
+  int threads_;
+  std::size_t px_, py_;  // padded sizes (powers of two)
+  std::size_t w_;        // px_/2 + 1 non-redundant row bins
+  RealFft row_;
+  Fft col_;
+  std::vector<std::complex<double>> spec_;          // cached spectrum, column-major
+  mutable std::vector<std::complex<double>> work_;  // scratch spectrum (lazy)
+};
+
+}  // namespace ebl

@@ -1,0 +1,243 @@
+// Tests for the radix-2 FFT stack: complex transform against a naive DFT,
+// real transform against the complex one, round trips, and the 2D convolver
+// against a direct sliding-window convolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/fft.h"
+#include "util/rng.h"
+
+namespace ebl {
+namespace {
+
+using cd = std::complex<double>;
+
+std::vector<cd> naive_dft(const std::vector<cd>& x) {
+  const std::size_t n = x.size();
+  std::vector<cd> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cd acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a = -2.0 * M_PI * double(j) * double(k) / double(n);
+      acc += x[j] * cd{std::cos(a), std::sin(a)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(fft_next_pow2(1), 1u);
+  EXPECT_EQ(fft_next_pow2(2), 2u);
+  EXPECT_EQ(fft_next_pow2(3), 4u);
+  EXPECT_EQ(fft_next_pow2(1024), 1024u);
+  EXPECT_EQ(fft_next_pow2(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Fft(12), ContractViolation);
+  EXPECT_THROW(Fft(0), ContractViolation);
+  EXPECT_THROW(RealFft(1), ContractViolation);
+  EXPECT_THROW(RealFft(24), ContractViolation);
+}
+
+TEST(Fft, MatchesNaiveDftOnRandomInput) {
+  Rng rng(7);
+  for (const std::size_t n : {1u, 2u, 4u, 16u, 64u, 256u}) {
+    std::vector<cd> x(n);
+    for (cd& v : x) v = {rng.uniform_real(-1.0, 1.0), rng.uniform_real(-1.0, 1.0)};
+    std::vector<cd> got = x;
+    Fft(n).forward(got.data());
+    const std::vector<cd> want = naive_dft(x);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(got[k].real(), want[k].real(), 1e-10) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(got[k].imag(), want[k].imag(), 1e-10) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Fft, InverseRoundTripScalesByN) {
+  Rng rng(11);
+  const std::size_t n = 128;
+  std::vector<cd> x(n);
+  for (cd& v : x) v = {rng.uniform_real(-2.0, 2.0), rng.uniform_real(-2.0, 2.0)};
+  std::vector<cd> y = x;
+  const Fft fft(n);
+  fft.forward(y.data());
+  fft.inverse(y.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), double(n) * x[i].real(), 1e-9);
+    EXPECT_NEAR(y[i].imag(), double(n) * x[i].imag(), 1e-9);
+  }
+}
+
+TEST(RealFft, MatchesComplexTransform) {
+  Rng rng(13);
+  for (const std::size_t n : {2u, 4u, 8u, 32u, 256u}) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.uniform_real(-1.0, 1.0);
+    std::vector<cd> spec(n / 2 + 1);
+    RealFft(n).forward(x.data(), spec.data());
+    std::vector<cd> full(x.begin(), x.end());
+    Fft(n).forward(full.data());
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+      EXPECT_NEAR(spec[k].real(), full[k].real(), 1e-10) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(spec[k].imag(), full[k].imag(), 1e-10) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(RealFft, InverseRoundTripScalesByHalfN) {
+  Rng rng(17);
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform_real(-3.0, 3.0);
+  std::vector<cd> spec(n / 2 + 1);
+  const RealFft fft(n);
+  fft.forward(x.data(), spec.data());
+  std::vector<double> back(n);
+  fft.inverse(spec.data(), back.data());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(back[i], 0.5 * double(n) * x[i], 1e-10);
+}
+
+// Direct same-size linear convolution with a symmetric separable kernel and
+// zero boundaries — the oracle for the convolver.
+std::vector<double> direct_conv2(const std::vector<double>& img, int nx, int ny,
+                                 const std::vector<double>& taps) {
+  const int r = static_cast<int>(taps.size()) - 1;
+  std::vector<double> mid(img.size(), 0.0);
+  std::vector<double> out(img.size(), 0.0);
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      double acc = taps[0] * img[std::size_t(y) * nx + x];
+      for (int j = 1; j <= r; ++j) {
+        if (x - j >= 0) acc += taps[std::size_t(j)] * img[std::size_t(y) * nx + x - j];
+        if (x + j < nx) acc += taps[std::size_t(j)] * img[std::size_t(y) * nx + x + j];
+      }
+      mid[std::size_t(y) * nx + x] = acc;
+    }
+  }
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      double acc = taps[0] * mid[std::size_t(y) * nx + x];
+      for (int j = 1; j <= r; ++j) {
+        if (y - j >= 0) acc += taps[std::size_t(j)] * mid[std::size_t(y - j) * nx + x];
+        if (y + j < ny) acc += taps[std::size_t(j)] * mid[std::size_t(y + j) * nx + x];
+      }
+      out[std::size_t(y) * nx + x] = acc;
+    }
+  }
+  return out;
+}
+
+TEST(FftConvolver, MatchesDirectConvolutionOnRandomImages) {
+  Rng rng(23);
+  struct Case {
+    int nx, ny, radius;
+  };
+  for (const Case c : {Case{17, 9, 3}, Case{64, 64, 8}, Case{33, 70, 21},
+                       Case{1, 1, 4}, Case{5, 1, 2}, Case{1, 40, 6}}) {
+    std::vector<double> img(std::size_t(c.nx) * c.ny);
+    for (double& v : img) v = rng.uniform_real(-1.0, 2.0);
+    std::vector<double> taps(std::size_t(c.radius) + 1);
+    double norm = 0.0;
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      taps[j] = rng.uniform_real(0.0, 1.0);
+      norm += (j == 0 ? 1.0 : 2.0) * taps[j];
+    }
+    for (double& t : taps) t /= norm;
+
+    FftConvolver conv(c.nx, c.ny, c.radius);
+    conv.load(img.data());
+    std::vector<double> got(img.size());
+    conv.convolve(taps, got.data());
+    const std::vector<double> want = direct_conv2(img, c.nx, c.ny, taps);
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      EXPECT_NEAR(got[i], want[i], 1e-10)
+          << c.nx << "x" << c.ny << " r=" << c.radius << " at " << i;
+    }
+  }
+}
+
+TEST(FftConvolver, KernelWiderThanImageStaysLinear) {
+  // Kernel support far beyond the image: every out-of-image tap must read
+  // zero (never wrap), exactly like the skipped taps of the direct blur.
+  Rng rng(29);
+  const int nx = 6, ny = 4, radius = 50;
+  std::vector<double> img(std::size_t(nx) * ny);
+  for (double& v : img) v = rng.uniform_real(0.0, 1.0);
+  std::vector<double> taps(std::size_t(radius) + 1);
+  double norm = 0.0;
+  for (std::size_t j = 0; j < taps.size(); ++j) {
+    taps[j] = std::exp(-double(j) * double(j) / 900.0);
+    norm += (j == 0 ? 1.0 : 2.0) * taps[j];
+  }
+  for (double& t : taps) t /= norm;
+
+  FftConvolver conv(nx, ny, radius);
+  conv.load(img.data());
+  std::vector<double> got(img.size());
+  conv.convolve(taps, got.data());
+  const std::vector<double> want = direct_conv2(img, nx, ny, taps);
+  for (std::size_t i = 0; i < img.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-12);
+}
+
+TEST(FftConvolver, SharedForwardServesMultipleKernels) {
+  Rng rng(31);
+  const int nx = 40, ny = 25;
+  std::vector<double> img(std::size_t(nx) * ny);
+  for (double& v : img) v = rng.uniform_real(-1.0, 1.0);
+  FftConvolver conv(nx, ny, 12);
+  conv.load(img.data());
+  for (const int radius : {2, 7, 12}) {
+    std::vector<double> taps(std::size_t(radius) + 1);
+    double norm = 0.0;
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      taps[j] = std::exp(-double(j) * double(j) / (0.3 * radius * radius + 1.0));
+      norm += (j == 0 ? 1.0 : 2.0) * taps[j];
+    }
+    for (double& t : taps) t /= norm;
+    std::vector<double> got(img.size());
+    conv.convolve(taps, got.data());
+    const std::vector<double> want = direct_conv2(img, nx, ny, taps);
+    for (std::size_t i = 0; i < img.size(); ++i)
+      EXPECT_NEAR(got[i], want[i], 1e-11) << "radius " << radius;
+  }
+}
+
+TEST(FftConvolver, BitIdenticalAcrossThreadCounts) {
+  Rng rng(37);
+  const int nx = 150, ny = 90, radius = 10;
+  std::vector<double> img(std::size_t(nx) * ny);
+  for (double& v : img) v = rng.uniform_real(0.0, 1.0);
+  std::vector<double> taps = {0.5, 0.2, 0.05};
+  std::vector<std::vector<double>> results;
+  for (const int threads : {1, 3, 8}) {
+    FftConvolver conv(nx, ny, radius, threads);
+    conv.load(img.data());
+    std::vector<double> out(img.size());
+    conv.convolve(taps, out.data());
+    results.push_back(std::move(out));
+  }
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_EQ(results[0][i], results[1][i]) << "1 vs 3 threads at " << i;
+    EXPECT_EQ(results[0][i], results[2][i]) << "1 vs 8 threads at " << i;
+  }
+}
+
+TEST(FftConvolver, RejectsKernelBeyondPlan) {
+  FftConvolver conv(8, 8, 4);
+  std::vector<double> img(64, 1.0);
+  conv.load(img.data());
+  std::vector<double> out(64);
+  EXPECT_THROW(conv.convolve(std::vector<double>(6, 0.1), out.data()),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ebl
