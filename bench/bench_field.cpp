@@ -1,4 +1,5 @@
-// F6 — Field stitching error vs. field size, with and without calibration.
+// F6 — Field stitching error vs. field size, with and without calibration,
+// plus the field-partitioner scaling section (BENCH_field.json).
 //
 // The deflection distortion model has fixed relative coefficients (ppm-scale
 // gain error, small rotation, third-order pincushion); the absolute
@@ -7,19 +8,156 @@
 // term), and affine calibration removes the gain/rotation part, leaving the
 // pincushion residual — a drop of one to two orders of magnitude for small
 // fields, less for large ones where the cubic term dominates.
+//
+// The partition-scaling section times the two-pass bucket partitioner
+// (count + prefix-sum + parallel clip fill) across shot counts and field
+// sizes, and exercises the 64-bit frame math on a pattern whose extent
+// exceeds 2^31 dbu — the case the old per-piece std::map accumulator
+// silently wrapped on. Results land in BENCH_field.json for trajectory
+// tracking; CI smoke-runs `bench_field --quick`.
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <vector>
 
 #include "machine/distortion.h"
 #include "machine/field.h"
 #include "core/patterns.h"
 #include "fracture/fracture.h"
 #include "util/csv.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 using namespace ebl;
 
-int main() {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+struct PartitionRow {
+  std::size_t shots = 0;
+  Coord field = 0;
+  std::size_t fields = 0;
+  std::size_t straddlers = 0;
+  std::size_t pieces = 0;
+  double ms = 0.0;
+};
+
+PartitionRow time_partition(const ShotList& shots, Coord field) {
+  PartitionRow row;
+  row.shots = shots.size();
+  row.field = field;
+  const auto t0 = std::chrono::steady_clock::now();
+  const FieldPartition part = partition_fields_counted(shots, field);
+  row.ms = ms_since(t0);
+  row.fields = part.fields.size();
+  row.straddlers = part.straddlers;
+  for (const FieldJob& f : part.fields) row.pieces += f.shots.size();
+  return row;
+}
+
+std::vector<PartitionRow> run_partition_scaling(bool quick) {
+  // Dense random Manhattan layouts on growing frames; small figures so the
+  // straddler fraction is realistic for fractured production data.
+  const std::vector<Coord> sides = quick ? std::vector<Coord>{400000}
+                                         : std::vector<Coord>{800000, 1600000};
+  std::vector<PartitionRow> rows;
+  for (const Coord side : sides) {
+    Rng rng(55);
+    const PolygonSet s =
+        random_manhattan(rng, Box{0, 0, side, side}, 0.25, 3000, 15000);
+    const ShotList shots = fracture(s, {.max_shot_size = 2500}).shots;
+    for (const Coord field : {100000, 400000}) {
+      rows.push_back(time_partition(shots, field));
+      std::cerr << "partition scaling: " << shots.size() << " shots, field "
+                << field / 1000 << " um done\n";
+    }
+  }
+  return rows;
+}
+
+// A pattern whose corner-to-corner extent is ~2^32 dbu: two dense clusters
+// at the far corners of the coordinate range. Every frame index is > 2^31 /
+// field_size from the anchor, so any 32-bit frame arithmetic wraps.
+struct ExtremeRow {
+  Coord64 extent = 0;
+  std::size_t shots = 0;
+  std::size_t fields = 0;
+  std::size_t straddlers = 0;
+  double ms = 0.0;
+  bool area_conserved = false;
+};
+
+ExtremeRow run_extreme_extent() {
+  constexpr Coord kMax = std::numeric_limits<Coord>::max();
+  constexpr Coord kMin = std::numeric_limits<Coord>::min();
+  ShotList shots;
+  const auto cluster = [&](Coord x0, Coord y0) {
+    for (int iy = 0; iy < 50; ++iy) {
+      for (int ix = 0; ix < 50; ++ix) {
+        const Coord x = x0 + static_cast<Coord>(ix) * 60000;
+        const Coord y = y0 + static_cast<Coord>(iy) * 60000;
+        shots.push_back({Trapezoid::rect(Box{x, y, x + 35000, y + 35000}), 1.0});
+      }
+    }
+  };
+  cluster(kMin + 1000, kMin + 1000);
+  cluster(kMax - 50 * 60000 - 1000, kMax - 50 * 60000 - 1000);
+
+  ExtremeRow row;
+  row.shots = shots.size();
+  Box bb;
+  for (const Shot& s : shots) bb += s.shape.bbox();
+  row.extent = std::max(bb.width(), bb.height());
+  const double area = shot_area(shots);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const FieldPartition part = partition_fields_counted(shots, 1000000);
+  row.ms = ms_since(t0);
+  row.fields = part.fields.size();
+  row.straddlers = part.straddlers;
+  double piece_area = 0.0;
+  for (const FieldJob& f : part.fields)
+    for (const Shot& s : f.shots) piece_area += s.shape.area();
+  row.area_conserved = std::abs(piece_area - area) <= area * 1e-9;
+  return row;
+}
+
+void write_bench_json(const std::vector<PartitionRow>& rows, const ExtremeRow& ex) {
+  std::ofstream out("BENCH_field.json");
+  out << "{\n  \"bench\": \"field_partition\",\n";
+  out << "  \"workload\": \"random manhattan, 25% density, fractured at 2.5um"
+         " aperture\",\n";
+  out << "  \"threads\": " << resolve_threads(0) << ",\n";
+  out << "  \"cases\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PartitionRow& r = rows[i];
+    out << (i ? "," : "") << "\n    {\"shots\": " << r.shots
+        << ", \"field_size_dbu\": " << r.field << ", \"fields\": " << r.fields
+        << ", \"straddlers\": " << r.straddlers << ", \"pieces\": " << r.pieces
+        << ", \"partition_ms\": " << r.ms << ", \"shots_per_sec\": "
+        << 1000.0 * static_cast<double>(r.shots) / r.ms << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"extreme_extent\": {\"extent_dbu\": " << ex.extent
+      << ", \"shots\": " << ex.shots << ", \"fields\": " << ex.fields
+      << ", \"straddlers\": " << ex.straddlers << ", \"partition_ms\": " << ex.ms
+      << ", \"area_conserved\": " << (ex.area_conserved ? "true" : "false")
+      << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
   // Relative machine imperfections (dimensionless, per unit half-field):
   const double gain_ppm = 150.0;   // 150 ppm deflection gain error
   const double rot_urad = 80.0;    // 80 µrad axis rotation
@@ -48,21 +186,43 @@ int main() {
   }
   t.print();
 
-  // Companion table: how many shots land on field boundaries as the field
-  // shrinks (stitching exposure: smaller fields stitch more figures).
-  Rng rng(55);
-  const PolygonSet s =
-      random_manhattan(rng, Box{0, 0, 800000, 800000}, 0.15, 3000, 40000);
-  const ShotList shots = fracture(s).shots;
-  Table t2("F6b: figures cut by field boundaries (800x800um pattern)");
-  t2.columns({"field (um)", "fields", "straddlers", "straddler %"});
-  for (const Coord field : {100000, 200000, 400000, 800000}) {
-    const auto fields = partition_fields(shots, field);
-    const std::size_t straddlers = count_boundary_straddlers(shots, field);
-    t2.row(field / 1000, fields.size(), straddlers,
-           fixed(100.0 * double(straddlers) / double(shots.size()), 1) + "%");
+  if (!quick) {
+    // Companion table: how many shots land on field boundaries as the field
+    // shrinks (stitching exposure: smaller fields stitch more figures).
+    Rng rng(55);
+    const PolygonSet s =
+        random_manhattan(rng, Box{0, 0, 800000, 800000}, 0.15, 3000, 40000);
+    const ShotList shots = fracture(s).shots;
+    Table t2("F6b: figures cut by field boundaries (800x800um pattern)");
+    t2.columns({"field (um)", "fields", "straddlers", "straddler %"});
+    for (const Coord field : {100000, 200000, 400000, 800000}) {
+      const auto fields = partition_fields(shots, field);
+      const std::size_t straddlers = count_boundary_straddlers(shots, field);
+      t2.row(field / 1000, fields.size(), straddlers,
+             fixed(100.0 * double(straddlers) / double(shots.size()), 1) + "%");
+    }
+    t2.print();
   }
-  t2.print();
-  std::cout << "\nwrote bench_f6_stitching.csv\n";
+
+  // --- Partition scaling: two-pass bucket partitioner throughput. ---
+  const std::vector<PartitionRow> scaling = run_partition_scaling(quick);
+  Table ps("Partition scaling: two-pass bucket partitioner");
+  ps.columns({"shots", "field (um)", "fields", "straddlers", "pieces", "ms",
+              "shots/sec"});
+  for (const PartitionRow& r : scaling) {
+    ps.row(r.shots, r.field / 1000, r.fields, r.straddlers, r.pieces, fixed(r.ms, 1),
+           fixed(1000.0 * double(r.shots) / r.ms, 0));
+  }
+  ps.print();
+
+  const ExtremeRow ex = run_extreme_extent();
+  Table et("Extreme extent: >2^31-dbu pattern through 64-bit frame math");
+  et.columns({"extent (dbu)", "shots", "fields", "straddlers", "ms", "area ok"});
+  et.row(ex.extent, ex.shots, ex.fields, ex.straddlers, fixed(ex.ms, 1),
+         ex.area_conserved ? "yes" : "NO");
+  et.print();
+
+  write_bench_json(scaling, ex);
+  std::cout << "\nwrote bench_f6_stitching.csv, BENCH_field.json\n";
   return 0;
 }

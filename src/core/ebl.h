@@ -29,5 +29,6 @@
 #include "pec/correction.h"
 #include "pec/exposure.h"
 #include "pec/psf.h"
+#include "pec/sharded.h"
 #include "sim/exposure_sim.h"
 #include "sim/resist.h"

@@ -1,6 +1,8 @@
 #include "core/job.h"
 
 #include <algorithm>
+#include <chrono>
+#include <functional>
 
 #include "pec/exposure.h"
 #include "util/contracts.h"
@@ -19,49 +21,80 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
 
   PrepResult result;
 
-  // 1. Fracture the merged region into machine figures.
-  FractureResult frac = fracture(geometry, options.fracture);
-  result.fracture = frac.stats;
-  result.shots = std::move(frac.shots);
+  // Thread precedence: an explicit per-stage knob wins, then the
+  // pipeline-wide PrepOptions::threads, then EBL_THREADS / hardware
+  // concurrency (the 0 = auto path inside resolve_threads).
+  PecOptions pec_opt = options.pec;
+  if (pec_opt.exposure.threads == 0) pec_opt.exposure.threads = options.threads;
 
-  // 2. Proximity-effect correction (optional).
-  if (options.pec_psf) {
-    // Thread precedence: an explicit per-stage knob wins, then the
-    // pipeline-wide PrepOptions::threads, then EBL_THREADS / hardware
-    // concurrency (the 0 = auto path inside resolve_threads).
-    PecOptions pec_opt = options.pec;
-    if (pec_opt.exposure.threads == 0) pec_opt.exposure.threads = options.threads;
-    {
-      ExposureEvaluator eval(result.shots, *options.pec_psf, pec_opt.exposure);
-      double uncorrected = 0.0;
-      for (double e : eval.exposures_at_centroids())
-        uncorrected = std::max(uncorrected, std::abs(e / pec_opt.target - 1.0));
-      result.pec_uncorrected_error = uncorrected;
-    }
-    PecResult pec = correct_proximity(result.shots, *options.pec_psf, pec_opt);
-    result.shots = std::move(pec.shots);
-    result.pec_final_error = pec.final_max_error;
-    result.pec_iterations = pec.iterations;
+  // The pipeline is an explicit stage list: each stage is enabled by the
+  // options it consumes and its wall-clock lands in stage_times, so callers
+  // see where a prep job spends its time without instrumenting anything.
+  struct Stage {
+    const char* name;
+    bool enabled;
+    std::function<void()> run;
+  };
+  const Stage stages[] = {
+      {"fracture", true,
+       [&] {
+         FractureResult frac = fracture(geometry, options.fracture);
+         result.fracture = frac.stats;
+         result.shots = std::move(frac.shots);
+       }},
+      // Uncorrected-error measurement. Needs a whole-pattern evaluator, so
+      // it only runs for the global solve; sharded jobs exist precisely to
+      // avoid that O(pattern) footprint.
+      {"pec_baseline", options.pec_psf.has_value() && options.pec.shard_size == 0,
+       [&] {
+         ExposureEvaluator eval(result.shots, *options.pec_psf, pec_opt.exposure);
+         double uncorrected = 0.0;
+         for (double e : eval.exposures_at_centroids())
+           uncorrected = std::max(uncorrected, std::abs(e / pec_opt.target - 1.0));
+         result.pec_uncorrected_error = uncorrected;
+       }},
+      {"pec", options.pec_psf.has_value(),
+       [&] {
+         PecResult pec = correct_proximity(result.shots, *options.pec_psf, pec_opt);
+         result.shots = std::move(pec.shots);
+         result.pec_final_error = pec.final_max_error;
+         result.pec_iterations = pec.iterations;
+         result.pec_shards = pec.shards;
+       }},
+      {"field_partition", options.field_size > 0,
+       [&] {
+         FieldPartition part = partition_fields_counted(
+             result.shots, options.field_size, options.threads);
+         result.boundary_straddlers = part.straddlers;
+         result.fields = std::move(part.fields);
+         // Field clipping may split shots; the flat shot list follows the
+         // fields so downstream consumers see exactly what the machine will
+         // flash.
+         ShotList flat;
+         for (const FieldJob& f : result.fields)
+           flat.insert(flat.end(), f.shots.begin(), f.shots.end());
+         result.shots = std::move(flat);
+       }},
+      {"write_time", true,
+       [&] {
+         const WriteJob job = make_write_job(result.shots);
+         result.estimates.push_back(
+             {"raster", RasterScanWriter(options.raster).write_time(job)});
+         result.estimates.push_back(
+             {"vector", VectorScanWriter(options.vector_scan).write_time(job)});
+         result.estimates.push_back({"vsb", VsbWriter(options.vsb).write_time(job)});
+       }},
+  };
+
+  for (const Stage& stage : stages) {
+    if (!stage.enabled) continue;
+    const auto t0 = std::chrono::steady_clock::now();
+    stage.run();
+    result.stage_times.push_back(
+        {stage.name, std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count()});
   }
-
-  // 3. Field partitioning (optional).
-  if (options.field_size > 0) {
-    result.boundary_straddlers = count_boundary_straddlers(result.shots, options.field_size);
-    result.fields = partition_fields(result.shots, options.field_size);
-    // Field clipping may split shots; the flat shot list follows the fields
-    // so downstream consumers see exactly what the machine will flash.
-    ShotList flat;
-    for (const FieldJob& f : result.fields)
-      flat.insert(flat.end(), f.shots.begin(), f.shots.end());
-    result.shots = std::move(flat);
-  }
-
-  // 4. Write-time estimates on all machine models.
-  const WriteJob job = make_write_job(result.shots);
-  result.estimates.push_back({"raster", RasterScanWriter(options.raster).write_time(job)});
-  result.estimates.push_back(
-      {"vector", VectorScanWriter(options.vector_scan).write_time(job)});
-  result.estimates.push_back({"vsb", VsbWriter(options.vsb).write_time(job)});
   return result;
 }
 

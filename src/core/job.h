@@ -46,18 +46,34 @@ struct MachineEstimate {
   WriteTime time;
 };
 
+/// Wall-clock of one executed pipeline stage (see PrepResult::stage_times).
+struct StageTime {
+  std::string name;
+  double ms = 0.0;
+};
+
 struct PrepResult {
   ShotList shots;                   ///< final dosed shots (all fields)
   FractureStats fracture;
   std::vector<FieldJob> fields;     ///< empty when field_size == 0
   std::size_t boundary_straddlers = 0;
 
-  /// PEC summary (present when pec_psf was set).
+  /// PEC summary (present when pec_psf was set). pec_uncorrected_error is
+  /// measured by the optional pec_baseline stage, which needs a whole-
+  /// pattern evaluator and therefore only runs for the global solve
+  /// (pec.shard_size == 0) — sharded jobs skip it, that O(pattern) footprint
+  /// being exactly what sharding avoids.
   std::optional<double> pec_final_error;
   std::optional<double> pec_uncorrected_error;
   int pec_iterations = 0;
+  int pec_shards = 0;  ///< shard count of the sharded solve (0 = global)
 
   std::vector<MachineEstimate> estimates;
+
+  /// Wall-clock per executed stage, in execution order. Stage names:
+  /// "fracture", "pec_baseline" (global PEC only), "pec", "field_partition",
+  /// "write_time"; disabled stages are absent.
+  std::vector<StageTime> stage_times;
 
   const WriteTime& time_for(const std::string& machine) const;
 };

@@ -3,6 +3,15 @@
 // Deflection reaches only a limited field; larger patterns are written as a
 // grid of fields with stage moves in between. Shots straddling a boundary
 // are clipped into per-field pieces (this is where stitching errors bite).
+//
+// The partitioner is a two-pass bucket build: one parallel pass computes
+// every shot's field-index range in 64-bit (field frames are kept in Coord64
+// until the final clip, so extents near — or, relative to a field origin,
+// beyond — the 32-bit edge never wrap), a count/prefix-sum/fill pass buckets
+// the (shot, field) incidences per occupied field, and a parallel fill pass
+// clips each field's shots independently. Fields come out sorted by (row,
+// column) and each field's pieces follow ascending shot order, so the result
+// is identical for any thread count.
 #pragma once
 
 #include <vector>
@@ -17,9 +26,23 @@ struct FieldJob {
   ShotList shots;  ///< shots clipped into the field
 };
 
+/// Fields plus the straddler count, produced from one shared pass over the
+/// shot bboxes (partitioning and straddler counting need the same per-shot
+/// field-index ranges).
+struct FieldPartition {
+  std::vector<FieldJob> fields;  ///< non-empty fields, sorted by (row, col)
+  std::size_t straddlers = 0;    ///< shots cut by field boundaries
+};
+
 /// Splits @p shots over a regular grid of @p field_size x @p field_size
-/// fields anchored at the pattern bbox lower-left corner. Empty fields are
-/// omitted. Shot doses carry over to the clipped pieces.
+/// fields anchored at the pattern bbox lower-left corner, and counts
+/// boundary straddlers along the way. Empty fields are omitted. Shot doses
+/// carry over to the clipped pieces. Per-field clipping runs on the thread
+/// pool (threads: 0 = auto); the result is identical for any thread count.
+FieldPartition partition_fields_counted(const ShotList& shots, Coord field_size,
+                                        int threads = 0);
+
+/// Convenience wrapper returning the fields only.
 std::vector<FieldJob> partition_fields(const ShotList& shots, Coord field_size);
 
 /// Count of shots that were cut by field boundaries (each straddler counted

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geom/raster.h"
+#include "pec/sharded.h"
 #include "util/contracts.h"
 
 namespace ebl {
@@ -14,7 +15,15 @@ PecResult correct_proximity(const ShotList& shots, const Psf& psf,
   expects(options.target > 0, "correct_proximity: target must be positive");
   expects(options.max_iterations > 0, "correct_proximity: need >= 1 iteration");
 
-  ExposureEvaluator eval(shots, psf, options.exposure);
+  // shard_size > 0 selects the sharded pipeline: per-shard memory, shards
+  // corrected concurrently, cross-shard coupling via halo-exchange rounds.
+  if (options.shard_size > 0) return correct_proximity_sharded(shots, psf, options);
+
+  // The corrector only ever samples shot centroids, so the long-range maps
+  // can drop their off-pattern sampling margin (see map_margin_sigmas).
+  ExposureOptions eopt = options.exposure;
+  eopt.map_margin_sigmas = 0.0;
+  ExposureEvaluator eval(shots, psf, eopt);
   std::vector<double> doses(shots.size());
   for (std::size_t i = 0; i < shots.size(); ++i) doses[i] = shots[i].dose;
 

@@ -41,19 +41,50 @@ struct PecOptions {
   /// [min observed, max observed] (machine dose-class granularity).
   int dose_classes = 0;
 
+  /// Side of the square PEC shards in dbu. 0 (the default) keeps the
+  /// monolithic global solve — the oracle the sharded pipeline is validated
+  /// against. When > 0, correct_proximity dispatches to the sharded pipeline
+  /// (src/pec/sharded.h): per-shard memory is O(shard), shards run
+  /// concurrently, and patterns beyond the global evaluator's reach (10M+
+  /// shots, >2^31-dbu extents) become correctable. Pick a multiple of the
+  /// widest PSF sigma — default_shard_size(psf) gives a good value.
+  Coord shard_size = 0;
+
+  /// Halo width around each shard, in units of the widest PSF sigma: shots
+  /// within halo_factor * max_sigma of a shard's frame join it as frozen-
+  /// dose ghosts. 4 matches the kernel truncation (contributions beyond
+  /// 4 sigma are below ~1e-6 of a term's weight), so the per-shard solve
+  /// sees everything the global solve sees to that accuracy.
+  double halo_factor = 4.0;
+
+  /// Extra halo-exchange rounds after the first per-shard correction pass:
+  /// each round re-publishes every shard's boundary doses and re-corrects
+  /// with the neighbors' fresh values. Rounds after the first start from
+  /// near-converged doses and exit in O(1) iterations; a round that changes
+  /// no dose certifies cross-shard convergence and stops early.
+  int exchange_rounds = 2;
+
   ExposureOptions exposure;
 };
 
 struct PecResult {
   ShotList shots;                        ///< same geometry, corrected doses
-  std::vector<double> max_error_history; ///< max |E/target - 1| per iteration
+  /// Global solve: max |E/target - 1| per Jacobi iteration. Sharded solve:
+  /// the cross-shard error entering each exchange round, then the final
+  /// measured error.
+  std::vector<double> max_error_history;
   int iterations = 0;
   double final_max_error = 0.0;
+  int shards = 0;  ///< sharded pipeline shard count (0 = monolithic solve)
+  int rounds = 0;  ///< sharded: correction rounds run (incl. the first pass)
 };
 
 /// Iterative self-consistent dose correction. The exposure at each shot's
 /// centroid is driven to options.target by multiplicative Jacobi updates:
 ///   d_i <- d_i * (target / E_i)^damping
+/// With options.shard_size > 0 the solve runs on the sharded pipeline
+/// (src/pec/sharded.h): the pattern is tiled into square shards corrected
+/// concurrently with frozen-dose halo ghosts and a few halo-exchange rounds.
 PecResult correct_proximity(const ShotList& shots, const Psf& psf,
                             const PecOptions& options = {});
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <mutex>
 
 #include "util/contracts.h"
 #include "util/parallel.h"
@@ -178,8 +179,15 @@ void gaussian_blur(Raster& raster, double sigma_dbu, BlurBackend backend,
 
 ExposureEvaluator::ExposureEvaluator(ShotList shots, const Psf& psf,
                                      ExposureOptions options)
+    : ExposureEvaluator(std::move(shots), 0, psf, options) {}
+
+ExposureEvaluator::ExposureEvaluator(ShotList shots, std::size_t active_count,
+                                     const Psf& psf, ExposureOptions options)
     : shots_(std::move(shots)), opt_(options) {
   expects(!shots_.empty(), "ExposureEvaluator: empty shot list");
+  expects(active_count <= shots_.size(),
+          "ExposureEvaluator: active count exceeds shot count");
+  active_ = active_count == 0 ? shots_.size() : active_count;
   for (const PsfTerm& t : psf.terms()) {
     (t.sigma >= opt_.long_range_threshold ? long_terms_ : short_terms_).push_back(t);
   }
@@ -259,6 +267,7 @@ void ExposureEvaluator::build_grid() {
 void ExposureEvaluator::build_long_range() {
   term_maps_.clear();
   long_base_.reset();
+  ghost_base_.reset();
   convolver_.reset();
   if (long_terms_.empty()) return;
 
@@ -273,9 +282,14 @@ void ExposureEvaluator::build_long_range() {
     sigma_min = std::min(sigma_min, t.sigma);
     sigma_max = std::max(sigma_max, t.sigma);
   }
-  const Coord margin = static_cast<Coord>(std::ceil(4.0 * sigma_max));
   const Coord pixel =
       std::max<Coord>(1, static_cast<Coord>(sigma_min / opt_.pixels_per_sigma));
+  // Margin per map_margin_sigmas, but never below 2 pixels: edge centroids
+  // need one in-grid bilinear neighbor, and the blur needs no margin at all
+  // (zero padding is exact when every source lies on the map).
+  const Coord margin = std::max<Coord>(
+      2 * pixel,
+      static_cast<Coord>(std::ceil(opt_.map_margin_sigmas * sigma_max)));
   const Box padded = frame.bloated(margin);
   long_base_ = std::make_unique<Raster>(padded, pixel);
 
@@ -295,36 +309,76 @@ void ExposureEvaluator::build_long_range() {
   if (opt_.splat_cache) {
     // Clip every shot against the shared grid once, then transpose the
     // splats to a pixel-major CSR so re-accumulation is a flat weighted
-    // gather.
+    // gather. The clipping (exact convex clip + shoelace per footprint) is
+    // the expensive part, so it runs on the thread pool: each chunk of shots
+    // emits into its own buffers, and the chunks — contiguous, disjoint
+    // index ranges — are concatenated in ascending-range order afterwards.
+    // That reproduces the serial emission order exactly for any thread count
+    // or chunk decomposition, so the cache (and everything derived from it)
+    // stays bit-identical.
     const Raster& r = *long_base_;
     const int nx = r.width();
     const std::size_t npx = static_cast<std::size_t>(nx) * r.height();
-    std::vector<std::uint32_t> splat_px;
-    std::vector<std::uint32_t> splat_shot;
-    std::vector<float> splat_frac;
-    splat_px.reserve(shots_.size() * 4);
-    splat_shot.reserve(shots_.size() * 4);
-    splat_frac.reserve(shots_.size() * 4);
-    for (std::uint32_t i = 0; i < shots_.size(); ++i) {
-      r.visit_coverage(shots_[i].shape, [&](int ix, int iy, double frac) {
-        splat_px.push_back(static_cast<std::uint32_t>(iy) * nx + ix);
-        splat_shot.push_back(i);
-        splat_frac.push_back(static_cast<float>(frac));
-      });
-    }
+    struct SplatChunk {
+      std::size_t begin = 0;
+      std::vector<std::uint32_t> px;
+      std::vector<std::uint32_t> shot;
+      std::vector<float> frac;
+    };
+    // Only active shots enter the cache: background doses are frozen, so
+    // their contribution is rasterized once (rebuild_ghost_base below) and
+    // cache memory plus the per-iteration gather stay O(active).
+    std::vector<SplatChunk> chunks;
+    std::mutex chunks_mutex;
+    parallel_for(
+        active_,
+        [&](std::size_t b, std::size_t e) {
+          SplatChunk c;
+          c.begin = b;
+          for (std::uint32_t i = static_cast<std::uint32_t>(b); i < e; ++i) {
+            r.visit_coverage(shots_[i].shape, [&](int ix, int iy, double frac) {
+              c.px.push_back(static_cast<std::uint32_t>(iy) * nx + ix);
+              c.shot.push_back(i);
+              c.frac.push_back(static_cast<float>(frac));
+            });
+          }
+          std::lock_guard<std::mutex> lock(chunks_mutex);
+          chunks.push_back(std::move(c));
+        },
+        opt_.threads);
+    std::sort(chunks.begin(), chunks.end(),
+              [](const SplatChunk& a, const SplatChunk& b) { return a.begin < b.begin; });
+    // Transpose straight out of the chunk buffers — walking them in
+    // ascending-range order IS the serial emission order, so no intermediate
+    // concatenated copy is needed and peak memory matches the serial build.
+    std::size_t total = 0;
+    for (const SplatChunk& c : chunks) total += c.px.size();
     px_start_.assign(npx + 1, 0);
-    for (const std::uint32_t p : splat_px) ++px_start_[p + 1];
+    for (const SplatChunk& c : chunks)
+      for (const std::uint32_t p : c.px) ++px_start_[p + 1];
     for (std::size_t p = 1; p <= npx; ++p) px_start_[p] += px_start_[p - 1];
-    px_shot_.resize(splat_px.size());
-    px_frac_.resize(splat_px.size());
+    px_shot_.resize(total);
+    px_frac_.resize(total);
     std::vector<std::uint32_t> cursor(px_start_.begin(), px_start_.end() - 1);
-    for (std::size_t k = 0; k < splat_px.size(); ++k) {
-      const std::uint32_t slot = cursor[splat_px[k]]++;
-      px_shot_[slot] = splat_shot[k];
-      px_frac_[slot] = splat_frac[k];
+    for (const SplatChunk& c : chunks) {
+      for (std::size_t k = 0; k < c.px.size(); ++k) {
+        const std::uint32_t slot = cursor[c.px[k]]++;
+        px_shot_[slot] = c.shot[k];
+        px_frac_[slot] = c.frac[k];
+      }
     }
+    if (active_ < shots_.size()) rebuild_ghost_base();
   }
   accumulate_long_range();
+}
+
+void ExposureEvaluator::rebuild_ghost_base() {
+  // Same frame and pixel as the base map (copy, then overwrite the data).
+  if (!ghost_base_) ghost_base_ = std::make_unique<Raster>(*long_base_);
+  std::vector<double>& bg = ghost_base_->data();
+  std::fill(bg.begin(), bg.end(), 0.0);
+  for (std::size_t i = active_; i < shots_.size(); ++i)
+    ghost_base_->add_coverage(shots_[i].shape, shots_[i].dose);
 }
 
 void ExposureEvaluator::accumulate_long_range() {
@@ -332,19 +386,22 @@ void ExposureEvaluator::accumulate_long_range() {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Doses copied to a dense array so the per-pixel gather walks 8-byte
-  // strides instead of whole Shot records.
-  std::vector<double> doses(shots_.size());
-  for (std::size_t i = 0; i < shots_.size(); ++i) doses[i] = shots_[i].dose;
+  // strides instead of whole Shot records (the cache only references active
+  // shots, the prefix of the list).
+  std::vector<double> doses(active_);
+  for (std::size_t i = 0; i < active_; ++i) doses[i] = shots_[i].dose;
 
   std::vector<double>& data = long_base_->data();
   if (opt_.splat_cache) {
     // Pixel-parallel: each pixel sums its cached splats in ascending cache
-    // order — independent outputs, so identical for any thread count.
+    // order, on top of the frozen background coverage — independent outputs,
+    // so identical for any thread count.
+    const double* bg = ghost_base_ ? ghost_base_->data().data() : nullptr;
     parallel_for(
         data.size(),
         [&](std::size_t p0, std::size_t p1) {
           for (std::size_t p = p0; p < p1; ++p) {
-            double acc = 0.0;
+            double acc = bg ? bg[p] : 0.0;
             const std::uint32_t b = px_start_[p];
             const std::uint32_t e = px_start_[p + 1];
             for (std::uint32_t k = b; k < e; ++k) {
@@ -390,6 +447,15 @@ void ExposureEvaluator::blur_long_range() {
 
 void ExposureEvaluator::set_doses(const std::vector<double>& doses) {
   expects(doses.size() == shots_.size(), "set_doses: size mismatch");
+  for (std::size_t i = 0; i < doses.size(); ++i) shots_[i].dose = doses[i];
+  // Background doses may have moved: re-rasterize their frozen map before
+  // the gather folds it back in.
+  if (ghost_base_) rebuild_ghost_base();
+  accumulate_long_range();
+}
+
+void ExposureEvaluator::set_active_doses(const std::vector<double>& doses) {
+  expects(doses.size() == active_, "set_active_doses: size mismatch");
   for (std::size_t i = 0; i < doses.size(); ++i) shots_[i].dose = doses[i];
   accumulate_long_range();
 }
@@ -478,9 +544,9 @@ double ExposureEvaluator::exposure_at(double px, double py) const {
 }
 
 std::vector<double> ExposureEvaluator::exposures_at_centroids() const {
-  std::vector<double> out(shots_.size());
+  std::vector<double> out(active_);
   parallel_for(
-      shots_.size(),
+      active_,
       [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
           const auto [cx, cy] = centroid(i);

@@ -72,6 +72,15 @@ struct ExposureOptions {
   /// brute-force references at tighter tolerances.
   double cutoff_sigmas = 4.0;
 
+  /// How far the long-range maps extend past the shot bbox, in units of the
+  /// widest long sigma (clamped to >= 2 pixels). The blur itself is exact
+  /// anywhere on the map — every source is on it — so the margin only buys
+  /// correct *sampling* beyond the pattern (the backscatter tail a simulator
+  /// probes). Queries at shot centroids never leave the bbox: the correctors
+  /// set this to 0 and shed the dead border pixels, which is a big deal for
+  /// sharded solves where the border would otherwise rival the shard.
+  double map_margin_sigmas = 4.0;
+
   /// Worker threads for centroid sweeps, splat re-accumulation, and the blur
   /// passes. 0 = auto: the EBL_THREADS environment variable if set, else
   /// std::thread::hardware_concurrency(). Results are identical for any
@@ -102,14 +111,42 @@ struct BlurPerf {
 /// updated cheaply (cached splats are re-weighted, the neighbor structure is
 /// reused, only the long-range blur is recomputed). Query points may be
 /// anywhere. Queries are thread-safe and allocation-free after construction.
+///
+/// Active/background split: the shot list may carry a trailing block of
+/// *background* shots (ghosts from neighboring PEC shards). Background shots
+/// contribute exposure like active ones — they live in the neighbor grid and
+/// their dose-weighted coverage lands on the long-range maps — but they take
+/// no dose updates and exposures_at_centroids skips them. Because their
+/// doses are frozen, they stay out of the splat cache: a frozen background
+/// map holds their coverage (at double precision — agreement with an
+/// all-active evaluator is to float-cache precision) and both cache memory
+/// and the per-iteration gather are O(active). This is how the sharded
+/// corrector freezes halo doses without a second evaluator or copied
+/// geometry.
 class ExposureEvaluator {
  public:
   ExposureEvaluator(ShotList shots, const Psf& psf, ExposureOptions options = {});
 
+  /// Split construction: the first @p active_count shots are active, the
+  /// rest are frozen-dose background (see the class comment). An
+  /// @p active_count of 0 means "all shots active" (same as the plain
+  /// constructor).
+  ExposureEvaluator(ShotList shots, std::size_t active_count, const Psf& psf,
+                    ExposureOptions options = {});
+
   const ShotList& shots() const { return shots_; }
 
-  /// Replaces all doses (size must match) and refreshes cached maps.
+  /// Number of active (dose-updatable) shots; equals shots().size() unless
+  /// the split constructor was used.
+  std::size_t active_count() const { return active_; }
+
+  /// Replaces all doses — active and background (size must match
+  /// shots().size()) — and refreshes cached maps.
   void set_doses(const std::vector<double>& doses);
+
+  /// Replaces the active doses only (size must match active_count());
+  /// background doses stay frozen. Refreshes cached maps.
+  void set_active_doses(const std::vector<double>& doses);
 
   /// Switches the long-range blur backend and re-derives the blurred maps
   /// from the current doses (the accumulated base map is reused). Lets
@@ -126,8 +163,8 @@ class ExposureEvaluator {
   double exposure_at(double px, double py) const;
   double exposure_at(Point p) const { return exposure_at(p.x, p.y); }
 
-  /// Exposures at every shot's representative point (centroid). Runs on the
-  /// thread pool; output is identical for any thread count.
+  /// Exposures at every *active* shot's representative point (centroid).
+  /// Runs on the thread pool; output is identical for any thread count.
   std::vector<double> exposures_at_centroids() const;
 
   /// Representative (centroid) point of shot i.
@@ -139,10 +176,12 @@ class ExposureEvaluator {
  private:
   void build_grid();
   void build_long_range();
+  void rebuild_ghost_base();
   void accumulate_long_range();
   void blur_long_range();
 
   ShotList shots_;
+  std::size_t active_ = 0;  ///< shots_[0..active_) take dose updates
   std::vector<PsfTerm> short_terms_;
   std::vector<PsfTerm> long_terms_;
   ExposureOptions opt_;
@@ -167,7 +206,13 @@ class ExposureEvaluator {
     std::vector<double> taps;  ///< truncated normalized kernel, both backends
     std::unique_ptr<Raster> map;
   };
+  // Background (frozen-dose) shots are not in the splat cache: their
+  // dose-weighted coverage is rasterized once into ghost_base_ and added on
+  // top of the active gather, so cache memory and the per-iteration gather
+  // are O(active shots). Rebuilt only by set_doses (which may move
+  // background doses); null when every shot is active.
   std::unique_ptr<Raster> long_base_;
+  std::unique_ptr<Raster> ghost_base_;
   std::vector<std::uint32_t> px_start_;
   std::vector<std::uint32_t> px_shot_;
   std::vector<float> px_frac_;

@@ -1,0 +1,331 @@
+#include "pec/sharded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "pec/exposure.h"
+#include "util/contracts.h"
+#include "util/gridkeys.h"
+#include "util/parallel.h"
+
+namespace ebl {
+namespace {
+
+Coord64 div_floor(Coord64 a, Coord64 b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+// Shard indices are relative to the pattern bbox corner — the packed-key /
+// occupied-slot machinery is util/gridkeys.h, shared with the field
+// partitioner. Only occupied shards (>= 1 owned shot) materialize, so
+// sparse giant extents never allocate a dense shard grid.
+struct ShardLayout {
+  Box bbox;
+  Coord shard = 0;
+  Coord64 halo = 0;
+  std::size_t count = 0;  ///< occupied shards
+  // CSR shard -> owned shot indices (ascending within a shard) and
+  // shard -> halo ghost indices, both filled in shot-index order so every
+  // list is deterministic.
+  std::vector<std::uint32_t> active_start, active_items;
+  std::vector<std::uint32_t> ghost_start, ghost_items;
+};
+
+ShardLayout build_layout(const ShotList& shots, Coord shard, double halo_dbu,
+                         int threads) {
+  ShardLayout L;
+  L.shard = shard;
+  L.halo = static_cast<Coord64>(std::ceil(halo_dbu));
+  for (const Shot& s : shots) L.bbox += s.shape.bbox();
+  const Coord64 nsx = L.bbox.width() / shard + 1;
+  const Coord64 nsy = L.bbox.height() / shard + 1;
+
+  // Owner shard of every shot: the shard containing its bbox center (center
+  // coordinates never leave the bbox, so relative indices are >= 0).
+  const std::size_t n = shots.size();
+  std::vector<std::uint64_t> owner(n);
+  parallel_for(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const Box sb = shots[i].shape.bbox();
+          const Coord64 cx = (Coord64(sb.lo.x) + sb.hi.x) / 2;
+          const Coord64 cy = (Coord64(sb.lo.y) + sb.hi.y) / 2;
+          owner[i] =
+              pack_grid_key((cx - L.bbox.lo.x) / shard, (cy - L.bbox.lo.y) / shard);
+        }
+      },
+      threads);
+
+  const GridKeySlots slots(owner);
+  const std::size_t ns = slots.size();
+  L.count = ns;
+
+  // Each owner key resolves to its slot once; the CSR count and fill passes
+  // run on the resolved slots, in shot-index order.
+  std::vector<std::uint32_t> owner_slot(n);
+  parallel_for(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+          owner_slot[i] = static_cast<std::uint32_t>(slots.slot_of(owner[i]));
+      },
+      threads);
+
+  L.active_start.assign(ns + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++L.active_start[owner_slot[i] + 1];
+  for (std::size_t s = 1; s <= ns; ++s) L.active_start[s] += L.active_start[s - 1];
+  L.active_items.resize(n);
+  {
+    std::vector<std::uint32_t> cursor(L.active_start.begin(), L.active_start.end() - 1);
+    for (std::uint32_t i = 0; i < n; ++i) L.active_items[cursor[owner_slot[i]]++] = i;
+  }
+
+  // Ghost incidences: a shot joins every *other* occupied shard whose frame
+  // its halo-bloated bbox overlaps. One pass over the geometry collects
+  // (slot, shot) pairs — interior shots (bloated bbox inside the owner
+  // shard) take the early-out, boundary shots touch at most a handful of
+  // neighbor shards — then a count/prefix/fill turns them into the CSR.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ghost_inc;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Box sb = shots[i].shape.bbox();
+    const Coord64 sx0 = std::clamp<Coord64>(
+        div_floor(Coord64(sb.lo.x) - L.halo - L.bbox.lo.x, shard), 0, nsx - 1);
+    const Coord64 sx1 = std::clamp<Coord64>(
+        div_floor(Coord64(sb.hi.x) + L.halo - L.bbox.lo.x, shard), 0, nsx - 1);
+    const Coord64 sy0 = std::clamp<Coord64>(
+        div_floor(Coord64(sb.lo.y) - L.halo - L.bbox.lo.y, shard), 0, nsy - 1);
+    const Coord64 sy1 = std::clamp<Coord64>(
+        div_floor(Coord64(sb.hi.y) + L.halo - L.bbox.lo.y, shard), 0, nsy - 1);
+    if (sx0 == sx1 && sy0 == sy1) continue;  // interior: owner shard only
+    for (Coord64 sy = sy0; sy <= sy1; ++sy) {
+      for (Coord64 sx = sx0; sx <= sx1; ++sx) {
+        const std::uint64_t key = pack_grid_key(sx, sy);
+        if (key == owner[i]) continue;
+        const std::size_t slot = slots.slot_of(key);
+        if (slot < ns)
+          ghost_inc.emplace_back(static_cast<std::uint32_t>(slot), i);
+      }
+    }
+  }
+  L.ghost_start.assign(ns + 1, 0);
+  for (const auto& [slot, shot] : ghost_inc) ++L.ghost_start[slot + 1];
+  for (std::size_t s = 1; s <= ns; ++s) L.ghost_start[s] += L.ghost_start[s - 1];
+  L.ghost_items.resize(ghost_inc.size());
+  {
+    std::vector<std::uint32_t> cursor(L.ghost_start.begin(), L.ghost_start.end() - 1);
+    for (const auto& [slot, shot] : ghost_inc) L.ghost_items[cursor[slot]++] = shot;
+  }
+  return L;
+}
+
+struct ShardOutcome {
+  double entry_error = 0.0;  ///< max error at round entry (fresh ghost doses)
+  double exit_error = 0.0;   ///< max error at the last evaluation of the run
+  int iterations = 0;        ///< Jacobi update steps run this round
+  bool updated = false;      ///< any dose actually changed this round
+};
+
+// One shard's solve for one round: build the local evaluator (owned shots
+// active, ghosts background at their published doses), run the same Jacobi
+// update the global corrector uses, and write the new doses to *next. With
+// correct == false only the entry error is measured (the verification
+// pass). The evaluator lives for the duration of the call, so memory in
+// flight is O(concurrent shards * shard size).
+ShardOutcome run_shard(const ShotList& shots, const Psf& psf,
+                       const PecOptions& options, const ShardLayout& L,
+                       std::size_t slot, const std::vector<double>& doses,
+                       std::vector<double>* next, std::vector<std::uint8_t>* changed,
+                       bool correct) {
+  const std::uint32_t* active = L.active_items.data() + L.active_start[slot];
+  const std::size_t na = L.active_start[slot + 1] - L.active_start[slot];
+  const std::uint32_t* ghosts = L.ghost_items.data() + L.ghost_start[slot];
+  const std::size_t ng = L.ghost_start[slot + 1] - L.ghost_start[slot];
+
+  ShotList local;
+  local.reserve(na + ng);
+  for (std::size_t k = 0; k < na; ++k)
+    local.push_back(Shot{shots[active[k]].shape, doses[active[k]]});
+  for (std::size_t k = 0; k < ng; ++k)
+    local.push_back(Shot{shots[ghosts[k]].shape, doses[ghosts[k]]});
+  // Centroid queries never leave the shard bbox, so the local long-range map
+  // drops its off-pattern sampling margin — on small shards the dead border
+  // would otherwise rival the shard itself. Measurement-only runs sweep the
+  // centroids exactly once, so they also skip the splat cache (one direct
+  // rasterization instead of a cache build that would never be re-weighted).
+  ExposureOptions eopt = options.exposure;
+  eopt.map_margin_sigmas = 0.0;
+  if (!correct) eopt.splat_cache = false;
+  ExposureEvaluator eval(std::move(local), na, psf, eopt);
+
+  std::vector<double> d(na);
+  for (std::size_t k = 0; k < na; ++k) d[k] = doses[active[k]];
+
+  ShardOutcome out;
+  for (int iter = 0;; ++iter) {
+    const std::vector<double> e = eval.exposures_at_centroids();
+    double max_err = 0.0;
+    for (double ei : e) max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
+    if (iter == 0) out.entry_error = max_err;
+    out.exit_error = max_err;
+    if (max_err < options.tolerance || !correct || iter >= options.max_iterations)
+      break;
+    for (std::size_t k = 0; k < na; ++k) {
+      const double ratio = options.target / std::max(e[k], 1e-9);
+      d[k] = std::clamp(d[k] * std::pow(ratio, options.damping), options.min_dose,
+                        options.max_dose);
+    }
+    out.iterations = iter + 1;
+    eval.set_active_doses(d);
+  }
+  // Exact per-shot change flags: a clamped dose can survive an update step
+  // unchanged, and only real changes should dirty the neighbors.
+  for (std::size_t k = 0; k < na; ++k) {
+    const bool moved = d[k] != doses[active[k]];
+    out.updated |= moved;
+    if (next) (*next)[active[k]] = d[k];
+    if (changed && moved) (*changed)[active[k]] = 1;
+  }
+  return out;
+}
+
+// True when any *ghost* dose the shard sees carries a change flag from the
+// previous round. Own-dose changes never dirty a shard: only the shard
+// itself writes them, and its exit error was measured after its last write.
+// Clean shards skip the round — nothing they evaluate against moved, so the
+// stored error is still exact — which is what makes late exchange rounds
+// cost only the remaining boundary activity.
+bool ghosts_dirty(const ShardLayout& L, std::size_t slot,
+                  const std::vector<std::uint8_t>& flags) {
+  for (std::uint32_t k = L.ghost_start[slot]; k < L.ghost_start[slot + 1]; ++k)
+    if (flags[L.ghost_items[k]]) return true;
+  return false;
+}
+
+}  // namespace
+
+Coord default_shard_size(const Psf& psf) {
+  return std::max<Coord>(1, static_cast<Coord>(64.0 * psf.max_sigma()));
+}
+
+PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
+                                    const PecOptions& options) {
+  expects(!shots.empty(), "correct_proximity_sharded: empty shot list");
+  expects(options.shard_size > 0, "correct_proximity_sharded: shard_size must be > 0");
+  expects(options.target > 0, "correct_proximity_sharded: target must be positive");
+  expects(options.max_iterations > 0,
+          "correct_proximity_sharded: need >= 1 iteration");
+  expects(options.halo_factor >= 0,
+          "correct_proximity_sharded: halo_factor must be >= 0");
+
+  const ShardLayout L = build_layout(shots, options.shard_size,
+                                     options.halo_factor * psf.max_sigma(),
+                                     options.exposure.threads);
+  const std::size_t ns = L.count;
+
+  std::vector<double> doses(shots.size());
+  for (std::size_t i = 0; i < shots.size(); ++i) doses[i] = shots[i].dose;
+  std::vector<double> next = doses;
+
+  PecResult result;
+  result.shards = static_cast<int>(ns);
+
+  // Correction rounds: every shard solves against the round-start snapshot
+  // (Jacobi across shards, so the outcome is independent of execution
+  // order), then the snapshot advances. Each outcome lands in its own slot,
+  // so the parallel sweep is deterministic for any thread count. Rounds
+  // after the first are lazy: a shard re-runs only if one of its ghost
+  // doses changed in the previous round (see ghosts_dirty), so late rounds
+  // cost what the remaining boundary activity costs, not a full re-solve.
+  std::vector<ShardOutcome> outcomes(ns);
+  std::vector<double> exit_err(ns, 0.0);
+  std::vector<std::uint8_t> changed_prev(shots.size(), 1);
+  std::vector<std::uint8_t> changed_cur(shots.size(), 0);
+  const int max_rounds = 1 + std::max(0, options.exchange_rounds);
+  bool settled = false;  // a round ran and changed nothing
+  int total_iterations = 0;
+  for (int round = 0; round < max_rounds; ++round) {
+    next = doses;  // skipped shards keep their slots verbatim
+    std::fill(changed_cur.begin(), changed_cur.end(), 0);
+    parallel_for(
+        ns,
+        [&](std::size_t s0, std::size_t s1) {
+          for (std::size_t s = s0; s < s1; ++s) {
+            if (round > 0 && !ghosts_dirty(L, s, changed_prev)) {
+              outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false};
+              continue;
+            }
+            outcomes[s] =
+                run_shard(shots, psf, options, L, s, doses, &next, &changed_cur, true);
+            exit_err[s] = outcomes[s].exit_error;
+          }
+        },
+        options.exposure.threads);
+    std::swap(doses, next);  // publish: halos see fresh doses next round
+    std::swap(changed_prev, changed_cur);
+    result.rounds = round + 1;
+
+    double round_err = 0.0;
+    int round_iters = 0;
+    bool any_update = false;
+    for (const ShardOutcome& o : outcomes) {
+      round_err = std::max(round_err, o.entry_error);
+      round_iters = std::max(round_iters, o.iterations);
+      any_update |= o.updated;
+    }
+    result.max_error_history.push_back(round_err);
+    total_iterations += round_iters;
+    if (!any_update) {
+      // Every shard met tolerance against its neighbors' published doses
+      // without moving: cross-shard convergence is certified.
+      settled = true;
+      break;
+    }
+    if (ns == 1) break;  // no cross-shard coupling: one pass is the full solve
+  }
+  result.iterations = total_iterations;
+
+  result.shots = shots;
+  for (std::size_t i = 0; i < shots.size(); ++i) result.shots[i].dose = doses[i];
+  bool doses_moved = false;
+  if (options.dose_classes > 0) {
+    quantize_doses(result.shots, options.dose_classes);
+    for (std::size_t i = 0; i < shots.size(); ++i) {
+      doses_moved |= result.shots[i].dose != doses[i];
+      doses[i] = result.shots[i].dose;
+    }
+  }
+
+  if (settled && !doses_moved) {
+    // The last round measured every shard at the final doses already.
+    result.final_max_error = result.max_error_history.back();
+  } else {
+    // Measurement-only pass with the delivered doses everywhere, halos
+    // included — comparable to the global corrector's final error up to the
+    // halo truncation. Shards whose visible doses did not change since their
+    // last evaluation reuse that (still exact) error; quantization moves
+    // doses globally and forces a full re-measure.
+    parallel_for(
+        ns,
+        [&](std::size_t s0, std::size_t s1) {
+          for (std::size_t s = s0; s < s1; ++s) {
+            if (!doses_moved && !ghosts_dirty(L, s, changed_prev)) {
+              outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false};
+              continue;
+            }
+            outcomes[s] =
+                run_shard(shots, psf, options, L, s, doses, nullptr, nullptr, false);
+          }
+        },
+        options.exposure.threads);
+    double final_err = 0.0;
+    for (const ShardOutcome& o : outcomes)
+      final_err = std::max(final_err, o.entry_error);
+    result.final_max_error = final_err;
+    result.max_error_history.push_back(final_err);
+  }
+  return result;
+}
+
+}  // namespace ebl

@@ -1,0 +1,53 @@
+// Sharded proximity-effect correction: tile the pattern, correct per shard,
+// exchange halos.
+//
+// The monolithic corrector (correct_proximity with shard_size == 0) holds
+// the whole pattern in one evaluator — one neighbor grid, one splat cache,
+// one long-range map — so memory and wall-clock are O(whole pattern). The
+// 1979 machines never worked that way: large patterns are written as a grid
+// of deflection fields with stage moves between them, and correction can be
+// tiled the same way.
+//
+// The sharded pipeline partitions shots into square shards (side =
+// PecOptions::shard_size, anchored at the pattern bbox corner, keyed by
+// 64-bit shard indices so >2^31-dbu extents are fine). Each shard owns the
+// shots whose bbox center falls inside its frame and additionally sees a
+// *halo* of ghost shots from neighboring shards — every shot within
+// halo_factor * max_sigma of the frame. A shard solve is the ordinary
+// iterative Jacobi correction over its own shots with the ghosts
+// contributing exposure at frozen doses (the evaluator's active/background
+// split); per-shard memory is O(shard + halo), so patterns far beyond the
+// global evaluator's reach fit.
+//
+// Shards run concurrently on the thread pool. Cross-shard coupling — a
+// shard's correction changes the backscatter its neighbors see — is driven
+// below tolerance by a small number of halo-exchange rounds: after every
+// shard corrected, boundary doses are re-published and each shard re-checks
+// (and, if needed, re-corrects) against the neighbors' fresh values. Rounds
+// after the first start from near-converged doses and typically exit after
+// one error check; a round in which no shard changed any dose certifies that
+// every shard meets tolerance with its neighbors' *final* doses, and the
+// loop stops early. Results are bit-identical for any thread count: each
+// shard writes only its own shots' doses, and all shards of a round read the
+// same published snapshot.
+#pragma once
+
+#include "pec/correction.h"
+
+namespace ebl {
+
+/// A good shard side for a PSF: 64x the widest sigma. Large enough that the
+/// halo (4 sigma on each side) stays a modest fraction of the shard, small
+/// enough that tens of shards exist on mm-scale patterns for the concurrent
+/// solve to spread across cores.
+Coord default_shard_size(const Psf& psf);
+
+/// Sharded iterative correction (see the file comment). Requires
+/// options.shard_size > 0; correct_proximity forwards here when it is.
+/// The returned final_max_error is measured with every shard's *final*
+/// doses in the halos, so it is comparable to the global corrector's figure
+/// up to the halo truncation (< 1e-6 of a term weight at halo_factor = 4).
+PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
+                                    const PecOptions& options);
+
+}  // namespace ebl

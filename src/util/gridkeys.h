@@ -1,0 +1,59 @@
+// Sparse-grid bucket keys: the shared machinery behind the field
+// partitioner and the PEC shard layout.
+//
+// Both tile the pattern bbox into a regular grid whose indices are computed
+// relative to the bbox corner (so they are non-negative and, with the
+// extent capped at 2^32 dbu and cell size >= 1, each fits 32 bits), pack
+// (column, row) into one 64-bit key, and materialize only the occupied
+// cells — sort + unique the keys, then address buckets by slot. Sparse
+// giant extents therefore never allocate a dense grid.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geom/coord.h"
+
+namespace ebl {
+
+/// Packs a non-negative (column, row) grid index pair, each < 2^32, into
+/// one key. Sorted keys order cells by row, then column.
+inline std::uint64_t pack_grid_key(Coord64 ix, Coord64 iy) {
+  return (static_cast<std::uint64_t>(iy) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix));
+}
+
+inline Coord64 grid_key_x(std::uint64_t key) {
+  return static_cast<Coord64>(key & 0xffffffffu);
+}
+
+inline Coord64 grid_key_y(std::uint64_t key) {
+  return static_cast<Coord64>(key >> 32);
+}
+
+/// Dense slots for a sparse set of grid keys: sorted + deduplicated once at
+/// construction, O(log n) lookups after. Resolve each key once and carry
+/// the slot — not the key — through any subsequent bucketing passes.
+class GridKeySlots {
+ public:
+  explicit GridKeySlots(std::vector<std::uint64_t> keys) : keys_(std::move(keys)) {
+    std::sort(keys_.begin(), keys_.end());
+    keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  }
+
+  std::size_t size() const { return keys_.size(); }
+  std::uint64_t key(std::size_t slot) const { return keys_[slot]; }
+
+  /// Slot of @p key; size() when the key is not an occupied cell.
+  std::size_t slot_of(std::uint64_t key) const {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || *it != key) return keys_.size();
+    return static_cast<std::size_t>(it - keys_.begin());
+  }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+};
+
+}  // namespace ebl

@@ -137,6 +137,51 @@ TEST(Pipeline, EmptyGeometryRejected) {
   EXPECT_THROW(run_data_prep(PolygonSet{}), ContractViolation);
 }
 
+TEST(Pipeline, RecordsStageTimes) {
+  Rng rng(11);
+  const PolygonSet s = random_manhattan(rng, Box{0, 0, 50000, 50000}, 0.2, 500, 5000);
+
+  // Minimal run: only the always-on stages execute, in pipeline order.
+  const PrepResult basic = run_data_prep(s);
+  ASSERT_EQ(basic.stage_times.size(), 2u);
+  EXPECT_EQ(basic.stage_times[0].name, "fracture");
+  EXPECT_EQ(basic.stage_times[1].name, "write_time");
+  for (const StageTime& st : basic.stage_times) EXPECT_GE(st.ms, 0.0);
+
+  // Full run: PEC (global, so the baseline stage runs too) and fields.
+  PrepOptions opt;
+  opt.fracture.max_shot_size = 4000;
+  opt.pec_psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  opt.pec.max_iterations = 2;
+  opt.field_size = 20000;
+  const PrepResult full = run_data_prep(s, opt);
+  ASSERT_EQ(full.stage_times.size(), 5u);
+  EXPECT_EQ(full.stage_times[0].name, "fracture");
+  EXPECT_EQ(full.stage_times[1].name, "pec_baseline");
+  EXPECT_EQ(full.stage_times[2].name, "pec");
+  EXPECT_EQ(full.stage_times[3].name, "field_partition");
+  EXPECT_EQ(full.stage_times[4].name, "write_time");
+}
+
+TEST(Pipeline, ShardedPecSkipsGlobalBaseline) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 20000, 20000});
+  s.insert(Box{40000, 9000, 41000, 10000});
+  PrepOptions opt;
+  opt.fracture.max_shot_size = 2000;
+  opt.pec_psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  opt.pec.max_iterations = 6;
+  opt.pec.shard_size = 25000;
+  const PrepResult r = run_data_prep(s, opt);
+  ASSERT_TRUE(r.pec_final_error);
+  // The uncorrected-error baseline needs a whole-pattern evaluator, which
+  // sharded jobs avoid by design.
+  EXPECT_FALSE(r.pec_uncorrected_error);
+  EXPECT_GE(r.pec_shards, 2);
+  EXPECT_LT(*r.pec_final_error, 0.05);
+  for (const StageTime& st : r.stage_times) EXPECT_NE(st.name, "pec_baseline");
+}
+
 // Property sweep: pipeline invariants across workloads.
 class PipelineProperty : public ::testing::TestWithParam<int> {};
 
