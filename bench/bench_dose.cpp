@@ -7,6 +7,7 @@
 // latitude, steeper for the low-contrast resist.
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/patterns.h"
 #include "fracture/fracture.h"
 #include "sim/exposure_sim.h"
@@ -28,7 +29,7 @@ int main() {
 
   Table t("F4: printed CD vs. relative dose (0.5um lines, threshold 0.42)");
   t.columns({"dose", "CD dense (nm)", "CD iso (nm)", "iso-dense bias (nm)"});
-  CsvWriter csv("bench_f4_dose_latitude.csv");
+  CsvWriter csv(artifact_path("bench_f4_dose_latitude.csv"));
   csv.header({"dose", "cd_dense_nm", "cd_iso_nm", "bias_nm"});
 
   for (const double dose : {0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4}) {

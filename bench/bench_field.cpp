@@ -22,6 +22,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/artifacts.h"
 #include "machine/distortion.h"
 #include "machine/field.h"
 #include "core/patterns.h"
@@ -166,7 +167,7 @@ int main(int argc, char** argv) {
   Table t("F6: max stitching error vs. field size");
   t.columns({"field (um)", "raw error (nm)", "calibrated (nm)",
              "calibrated+noise (nm)", "improvement"});
-  CsvWriter csv("bench_f6_stitching.csv");
+  CsvWriter csv(artifact_path("bench_f6_stitching.csv"));
   csv.header({"field_um", "raw_nm", "calibrated_nm", "calibrated_noise_nm"});
 
   for (const double field_um : {100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0}) {

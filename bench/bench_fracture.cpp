@@ -8,6 +8,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/patterns.h"
 #include "fracture/fracture.h"
 #include "geom/curves.h"
@@ -62,7 +63,7 @@ void figure_f3_shot_size() {
   const PolygonSet s = random_manhattan(rng, Box{0, 0, 200000, 200000}, 0.3, 2000, 30000);
   Table t("F3a: VSB shot count vs. max shot size (manhattan 30%, 200x200um)");
   t.columns({"max shot (um)", "shots", "shots/figure", "area um^2"});
-  CsvWriter csv("bench_f3_shot_size.csv");
+  CsvWriter csv(artifact_path("bench_f3_shot_size.csv"));
   csv.header({"max_shot_nm", "shots", "figures"});
   for (const Coord aperture : {500, 1000, 2000, 4000, 8000, 16000}) {
     FractureOptions opt;
@@ -79,7 +80,7 @@ void figure_f3_shot_size() {
 void figure_f3_vertex_scaling() {
   Table t("F3b: figure count vs. input vertex count (circle flattening sweep)");
   t.columns({"vertices", "figures (merged)", "figures/vertex"});
-  CsvWriter csv("bench_f3_vertices.csv");
+  CsvWriter csv(artifact_path("bench_f3_vertices.csv"));
   csv.header({"vertices", "figures"});
   for (const double tol : {64.0, 16.0, 4.0, 1.0, 0.25}) {
     PolygonSet s;

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/patterns.h"
 #include "fracture/fracture.h"
 #include "sim/exposure_sim.h"
@@ -24,7 +25,7 @@ void transfer_curve(const ContrastResist& resist, const Psf& psf) {
   // vs. the ideal contrast curve.
   Table t("F7a: grayscale transfer (10um pad, gamma=1, onset 0.4)");
   t.columns({"dose", "ideal t", "simulated t", "error"});
-  CsvWriter csv("bench_f7_transfer.csv");
+  CsvWriter csv(artifact_path("bench_f7_transfer.csv"));
   csv.header({"dose", "ideal", "simulated"});
   for (const double dose : {0.3, 0.45, 0.6, 0.8, 1.0, 1.4, 2.0, 2.8, 4.0, 5.6}) {
     ShotList shots{{Trapezoid::rect(Box{0, 0, 10000, 10000}), dose}};

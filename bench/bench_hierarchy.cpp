@@ -7,6 +7,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/ebl.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -58,7 +59,7 @@ Library make_library(std::uint32_t n) {
 int main() {
   Table t("H1: hierarchical vs. flat prep (180-rect + 20-triangle macro, NxN array)");
   t.columns({"array", "flat ms", "hier ms", "speedup", "flat shots", "hier shots"});
-  CsvWriter csv("bench_h1_hierarchy.csv");
+  CsvWriter csv(artifact_path("bench_h1_hierarchy.csv"));
   csv.header({"n", "flat_ms", "hier_ms", "flat_shots", "hier_shots"});
 
   FractureOptions opt;

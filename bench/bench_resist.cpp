@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "sim/resist.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -17,7 +18,7 @@ int main() {
   Table t("T3: resist operating points (exposure relative to unit-dose bulk)");
   t.columns({"resist", "gamma", "onset E0", "print (t=0.5)", "full E100",
              "latitude E100/E0"});
-  CsvWriter csv("bench_t3_resists.csv");
+  CsvWriter csv(artifact_path("bench_t3_resists.csv"));
   csv.header({"gamma", "onset", "print", "full", "latitude"});
 
   for (const double gamma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
@@ -33,7 +34,7 @@ int main() {
   t.print();
 
   // Full contrast curves as series.
-  CsvWriter curves("bench_t3_curves.csv");
+  CsvWriter curves(artifact_path("bench_t3_curves.csv"));
   curves.header({"exposure", "t_gamma_0.5", "t_gamma_1", "t_gamma_2", "t_gamma_4"});
   for (double e = 0.1; e <= 5.0; e *= 1.05) {
     curves.row(e, ContrastResist(0.5, 0.4).thickness(e),

@@ -9,6 +9,7 @@
 // much larger than the Gaussian pixel.
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/patterns.h"
 #include "fracture/fracture.h"
 #include "machine/ordering.h"
@@ -58,7 +59,7 @@ void figure_f5() {
 
   Table t("F5: write time vs. pattern density (1x1 mm field, seconds)");
   t.columns({"density %", "raster", "vector", "vsb"});
-  CsvWriter csv("bench_f5_crossover.csv");
+  CsvWriter csv(artifact_path("bench_f5_crossover.csv"));
   csv.header({"density", "raster_s", "vector_s", "vsb_s"});
   double crossover = -1.0;
   double prev_gap = 0.0;

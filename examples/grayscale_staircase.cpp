@@ -10,6 +10,7 @@
 // thickness per level.
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/ebl.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -56,7 +57,7 @@ int main() {
                " dose tweaks would flatten this)\n";
 
   // Cross-section CSV for plotting the relief.
-  CsvWriter csv("grayscale_profile.csv");
+  CsvWriter csv(artifact_path("grayscale_profile.csv"));
   csv.header({"x_nm", "thickness"});
   const auto prof = profile_along(relief, Point{-1000, height / 2},
                                   Point{Coord(levels * step_w + 1000), height / 2},

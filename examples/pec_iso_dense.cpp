@@ -12,6 +12,7 @@
 // engine (src/util/fft.h) — same result, far less time.
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/ebl.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -70,7 +71,7 @@ int main() {
     std::cout << "  iter " << i << ": " << fixed(pec.max_error_history[i], 4) << '\n';
 
   // Dump the full profile as CSV for plotting.
-  CsvWriter csv("pec_profile.csv");
+  CsvWriter csv(artifact_path("pec_profile.csv"));
   csv.header({"x_nm", "exposure_uncorrected", "exposure_corrected"});
   const auto p0 = profile_along(before, a, b, 1761);
   const auto p1 = profile_along(after, a, b, 1761);

@@ -11,6 +11,7 @@
 // Run from anywhere; files are written to the current directory.
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/ebl.h"
 #include "util/table.h"
 
@@ -39,8 +40,8 @@ int main() {
   lib.cell(top).add_reference(array);
 
   // --- 2. GDSII round trip (the CAD interchange step). ---
-  write_gds(lib, "quickstart.gds");
-  const Library loaded = read_gds("quickstart.gds");
+  write_gds(lib, artifact_path("quickstart.gds"));
+  const Library loaded = read_gds(artifact_path("quickstart.gds"));
   std::cout << "wrote and re-read quickstart.gds: " << loaded.cell_count()
             << " cells\n";
 
@@ -71,7 +72,7 @@ int main() {
   // --- 4. Machine shot records. ---
   EbfFile ebf;
   ebf.shots = r.shots;
-  write_ebf(ebf, "quickstart.ebf");
+  write_ebf(ebf, artifact_path("quickstart.ebf"));
   std::cout << "wrote quickstart.ebf with " << ebf.shots.size() << " shots\n";
   return 0;
 }

@@ -8,6 +8,7 @@
 // write times per machine.
 #include <iostream>
 
+#include "util/artifacts.h"
 #include "core/ebl.h"
 #include "util/table.h"
 
@@ -71,7 +72,7 @@ int main() {
 
   EbfFile ebf;
   ebf.shots = r.shots;
-  write_ebf(ebf, "zone_plate.ebf");
+  write_ebf(ebf, artifact_path("zone_plate.ebf"));
   std::cout << "wrote zone_plate.ebf (" << ebf.shots.size() << " shots)\n";
   return 0;
 }

@@ -60,6 +60,17 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
          result.pec_final_error = pec.final_max_error;
          result.pec_iterations = pec.iterations;
          result.pec_shards = pec.shards;
+         // Sharded solves report per-round wall clock; surface each round
+         // (and the final measurement pass, when one ran) as its own stage
+         // so the halo-exchange cost is visible in profiles. These land
+         // before the enclosing "pec" stage's own entry, in execution order.
+         for (std::size_t r = 0; r < pec.round_ms.size(); ++r) {
+           result.stage_times.push_back(
+               {"pec_round_" + std::to_string(r + 1), pec.round_ms[r]});
+         }
+         if (pec.measure_ms >= 0.0) {
+           result.stage_times.push_back({"pec_measure", pec.measure_ms});
+         }
        }},
       {"field_partition", options.field_size > 0,
        [&] {

@@ -72,7 +72,10 @@ struct PrepResult {
 
   /// Wall-clock per executed stage, in execution order. Stage names:
   /// "fracture", "pec_baseline" (global PEC only), "pec", "field_partition",
-  /// "write_time"; disabled stages are absent.
+  /// "write_time"; disabled stages are absent. Sharded PEC jobs additionally
+  /// record one "pec_round_N" entry per halo-exchange round plus
+  /// "pec_measure" when a final measurement pass ran — sub-stages of "pec",
+  /// listed just before it — so the exchange cost is visible in profiles.
   std::vector<StageTime> stage_times;
 
   const WriteTime& time_for(const std::string& machine) const;

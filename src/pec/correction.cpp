@@ -27,6 +27,15 @@ PecResult correct_proximity(const ShotList& shots, const Psf& psf,
   std::vector<double> doses(shots.size());
   for (std::size_t i = 0; i < shots.size(); ++i) doses[i] = shots[i].dose;
 
+  // Iteration-aware update schedule (delta mode only): shots already within
+  // update_tol of target are left untouched this iteration. The bar is loose
+  // while the sweep error is large — shots that start on target (uniform
+  // interiors) freeze immediately — and tightens to the convergence
+  // tolerance as the solve approaches it, so the final iterations touch only
+  // the shots still moving and the evaluator's delta path does the rest.
+  // The stopping criterion is measured over every shot regardless, so
+  // converged accuracy is exactly the non-scheduled corrector's.
+  const bool delta_mode = eopt.delta_threshold > 0;
   PecResult result;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     const std::vector<double> e = eval.exposures_at_centroids();
@@ -36,10 +45,12 @@ PecResult correct_proximity(const ShotList& shots, const Psf& psf,
     result.iterations = iter;
     if (max_err < options.tolerance) break;
 
+    // Floor well below the stopping tolerance so frozen shots cannot pile up
+    // just under it and dominate the converged error.
+    const double update_tol =
+        jacobi_update_tolerance(delta_mode, options.tolerance, max_err);
     for (std::size_t i = 0; i < doses.size(); ++i) {
-      const double ratio = options.target / std::max(e[i], 1e-9);
-      doses[i] = std::clamp(doses[i] * std::pow(ratio, options.damping),
-                            options.min_dose, options.max_dose);
+      doses[i] = jacobi_updated_dose(doses[i], e[i], update_tol, options);
     }
     eval.set_doses(doses);
   }
@@ -61,6 +72,7 @@ PecResult correct_proximity(const ShotList& shots, const Psf& psf,
   for (double ei : eval.exposures_at_centroids())
     max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
   result.final_max_error = max_err;
+  result.blur = eval.blur_perf();
   return result;
 }
 
@@ -68,13 +80,11 @@ PecResult density_pec(const ShotList& shots, const Psf& psf, const PecOptions& o
   expects(!shots.empty(), "density_pec: empty shot list");
 
   // eta = backscattered fraction / forward fraction, taking the
-  // longest-range term as "backscatter".
+  // longest-range term as "backscatter" (shared with the sharded warm
+  // start — see backscatter_eta).
   double max_sigma = 0.0;
   for (const PsfTerm& t : psf.terms()) max_sigma = std::max(max_sigma, t.sigma);
-  double wb = 0.0;
-  double wf = 0.0;
-  for (const PsfTerm& t : psf.terms()) (t.sigma == max_sigma ? wb : wf) += t.weight;
-  const double eta = wf > 0 ? wb / wf : 0.0;
+  const double eta = backscatter_eta(psf);
 
   // Blurred pattern density at the backscatter range.
   Box frame;

@@ -12,6 +12,8 @@
 // classes.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "fracture/shot.h"
@@ -64,6 +66,31 @@ struct PecOptions {
   /// no dose certifies cross-shard convergence and stops early.
   int exchange_rounds = 2;
 
+  /// Sharded solves only: initialize every dose from the closed-form
+  /// density-PEC formula (computed per shard on a coarse backscatter-range
+  /// raster, O(shard) memory) before the first correction round. The halo
+  /// scheme freezes ghost doses for a whole round, so its round-1 error is
+  /// exactly how wrong those frozen doses are: warm-starting from the
+  /// density formula puts ghosts within a few percent of their final values
+  /// instead of at the raw input doses, which both shrinks the round-1
+  /// Jacobi work and leaves far less cross-shard residual for the exchange
+  /// rounds. Accuracy is unaffected — the same per-shard tolerance is
+  /// enforced on the same evaluators. Ignored when the layout degenerates to
+  /// a single shard (no halos to stabilize, and the monolithic solve is the
+  /// bitwise reference for that case).
+  bool density_warm_start = true;
+
+  /// Sharded solves only: how many per-shard evaluators may stay resident
+  /// across halo-exchange rounds. A resident shard re-enters a round through
+  /// an exact dose refresh (ExposureEvaluator::set_background_doses) that
+  /// reuses its neighbor grid, splat clipping, and FFT plan — the expensive,
+  /// geometry-only construction work — instead of rebuilding them. Over
+  /// budget, the least-recently-run shards fall back to transient mode
+  /// (evict-LRU); because the refresh is exact, residency never changes a
+  /// bit of the result, only the wall clock. 0 disables the pool (every
+  /// shard run rebuilds its evaluator, the pre-pool behavior).
+  int resident_shard_budget = 64;
+
   ExposureOptions exposure;
 };
 
@@ -77,6 +104,20 @@ struct PecResult {
   double final_max_error = 0.0;
   int shards = 0;  ///< sharded pipeline shard count (0 = monolithic solve)
   int rounds = 0;  ///< sharded: correction rounds run (incl. the first pass)
+
+  /// Sharded: wall-clock of each correction round, in round order (the
+  /// pipeline surfaces these as pec_round_N stage times).
+  std::vector<double> round_ms;
+  /// Sharded: wall-clock of the final measurement-only pass; < 0 when the
+  /// last round certified convergence and no extra pass was needed.
+  double measure_ms = -1.0;
+  int resident_shards = 0;  ///< evaluators resident when the solve finished
+  int shard_evictions = 0;  ///< resident evaluators dropped to fit the budget
+
+  /// Aggregated long-range refresh accounting across every evaluator the
+  /// solve used (the one global evaluator, or all shard evaluators summed in
+  /// slot order) — how much work the delta path absorbed.
+  BlurPerf blur;
 };
 
 /// Iterative self-consistent dose correction. The exposure at each shot's
@@ -87,6 +128,31 @@ struct PecResult {
 /// concurrently with frozen-dose halo ghosts and a few halo-exchange rounds.
 PecResult correct_proximity(const ShotList& shots, const Psf& psf,
                             const PecOptions& options = {});
+
+/// The per-iteration freeze bar of the delta-mode update schedule: shots
+/// whose relative error is below it are left untouched this iteration —
+/// loose while the sweep error is large, tightening to a quarter of the
+/// stopping tolerance at convergence (so frozen shots cannot pile up just
+/// under the tolerance and dominate the converged error). 0 in oracle mode:
+/// every shot updates every iteration.
+inline double jacobi_update_tolerance(bool delta_mode, double tolerance,
+                                      double max_err) {
+  return delta_mode ? std::max(0.25 * tolerance, 0.1 * max_err) : 0.0;
+}
+
+/// One Jacobi dose update step, shared by the monolithic corrector and the
+/// per-shard solver so the sharded pipeline's single-shard degenerate case
+/// stays bitwise-identical to the monolithic solve by construction.
+inline double jacobi_updated_dose(double dose, double exposure, double update_tol,
+                                  const PecOptions& options) {
+  if (update_tol > 0 &&
+      std::abs(exposure / options.target - 1.0) < update_tol) {
+    return dose;  // frozen this iteration (see jacobi_update_tolerance)
+  }
+  const double ratio = options.target / std::max(exposure, 1e-9);
+  return std::clamp(dose * std::pow(ratio, options.damping), options.min_dose,
+                    options.max_dose);
+}
 
 /// Geometry-density PEC: one blurred-coverage raster at the backscatter
 /// range; each shot's dose is d(u) = (1 + 2 eta) / (1 + 2 eta u(centroid)),

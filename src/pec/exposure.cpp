@@ -7,10 +7,17 @@
 
 #include "util/contracts.h"
 #include "util/parallel.h"
+#include "util/vecmath.h"
 
 namespace ebl {
 
 namespace {
+
+// Re-anchor cadence of the delta path: after this many consecutive delta
+// refreshes the next update re-gathers in full, bounding the accumulated
+// rounding drift (each delta scatter perturbs a pixel by ~1e-16 of its
+// value, so even 64 updates stay orders of magnitude below 1e-12).
+constexpr int kDeltaReanchor = 64;
 
 // Epoch-stamped visited marks for duplicate rejection in neighbor queries
 // (a shot's bbox spans several grid cells, so it appears in several bins).
@@ -21,6 +28,72 @@ struct VisitScratch {
   std::uint32_t epoch = 0;
 };
 thread_local VisitScratch t_visit;
+
+// Prepares the thread-local visit marks for a fresh query over @p n shots
+// and returns the epoch to stamp with — the one duplicate-rejection
+// preamble every grid walk shares.
+std::uint32_t begin_visit_epoch(std::size_t n) {
+  VisitScratch& vs = t_visit;
+  if (vs.stamp.size() < n) {
+    vs.stamp.assign(n, 0);
+    vs.epoch = 0;
+  }
+  if (++vs.epoch == 0) {  // epoch wrapped: all marks are stale anyway
+    std::fill(vs.stamp.begin(), vs.stamp.end(), 0);
+    vs.epoch = 1;
+  }
+  return vs.epoch;
+}
+
+// Scratch for the batched short-range path: erf arguments for one query are
+// packed contiguously (4 per rectangle integral), evaluated in one
+// erf_batch call, then combined in emission order. Thread-local so the
+// parallel sweep shares nothing; batch composition depends only on the
+// query, so results are bit-identical for any thread count.
+struct ShortScratch {
+  std::vector<double> args;
+  std::vector<double> erfs;
+  std::vector<double> wgt;
+};
+thread_local ShortScratch t_short;
+
+// Emits the rectangle integrals of one (term, shape) pair as packed erf
+// arguments plus a combined weight. Mirrors term_exposure_trapezoid exactly:
+// rectangles are exact, slanted sides are sliced into strips no taller than
+// sigma/2 with the same strip arithmetic, so the batched sum equals the
+// scalar path up to the erf implementation and summation grouping.
+void emit_term_rects(const PsfTerm& term, const Trapezoid& t, double px, double py,
+                     double scale, std::vector<double>& args,
+                     std::vector<double>& wgt) {
+  const double inv_s = 1.0 / term.sigma;
+  const double w = scale * term.weight * 0.25;
+  if (t.is_rect()) {
+    args.push_back((t.xl0 - px) * inv_s);
+    args.push_back((t.xr0 - px) * inv_s);
+    args.push_back((t.y0 - py) * inv_s);
+    args.push_back((t.y1 - py) * inv_s);
+    wgt.push_back(w);
+    return;
+  }
+  const double height = static_cast<double>(t.y1) - t.y0;
+  const double max_slice = std::max(term.sigma * 0.5, 1.0);
+  const int slices = std::max(1, static_cast<int>(std::ceil(height / max_slice)));
+  const double inv_h = 1.0 / height;
+  for (int i = 0; i < slices; ++i) {
+    const double ya = t.y0 + height * i / slices;
+    const double yb = t.y0 + height * (i + 1) / slices;
+    const double ym = 0.5 * (ya + yb);
+    const double fl = (ym - t.y0) * inv_h;
+    const double xl = t.xl0 + (t.xl1 - t.xl0) * fl;
+    const double xr = t.xr0 + (t.xr1 - t.xr0) * fl;
+    if (xr <= xl) continue;
+    args.push_back((xl - px) * inv_s);
+    args.push_back((xr - px) * inv_s);
+    args.push_back((ya - py) * inv_s);
+    args.push_back((yb - py) * inv_s);
+    wgt.push_back(w);
+  }
+}
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
@@ -196,6 +269,21 @@ ExposureEvaluator::ExposureEvaluator(ShotList shots, std::size_t active_count,
   // all: skip grid construction entirely.
   if (!short_terms_.empty()) build_grid();
   build_long_range();
+
+  // Active-centroid cache: the sweep and the delta scatter both query these
+  // points every iteration.
+  cx_.resize(active_);
+  cy_.resize(active_);
+  parallel_for(
+      active_,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const auto [x, y] = centroid(i);
+          cx_[i] = x;
+          cy_[i] = y;
+        }
+      },
+      opt_.threads);
 }
 
 void ExposureEvaluator::build_grid() {
@@ -269,6 +357,9 @@ void ExposureEvaluator::build_long_range() {
   long_base_.reset();
   ghost_base_.reset();
   convolver_.reset();
+  shot_start_.clear();
+  shot_px_.clear();
+  shot_frac_.clear();
   if (long_terms_.empty()) return;
 
   Box frame;
@@ -367,6 +458,20 @@ void ExposureEvaluator::build_long_range() {
         px_frac_[slot] = c.frac[k];
       }
     }
+    // Shot-major view for the delta path: the chunk emission stream already
+    // visits shots in ascending order with each shot's pixels contiguous, so
+    // plain concatenation plus a per-shot offset table IS the shot-major
+    // CSR, sharing the exact same fraction values as the pixel-major one.
+    shot_start_.assign(active_ + 1, 0);
+    for (const SplatChunk& c : chunks)
+      for (const std::uint32_t s : c.shot) ++shot_start_[s + 1];
+    for (std::size_t s = 1; s <= active_; ++s) shot_start_[s] += shot_start_[s - 1];
+    shot_px_.reserve(total);
+    shot_frac_.reserve(total);
+    for (const SplatChunk& c : chunks) {
+      shot_px_.insert(shot_px_.end(), c.px.begin(), c.px.end());
+      shot_frac_.insert(shot_frac_.end(), c.frac.begin(), c.frac.end());
+    }
     if (active_ < shots_.size()) rebuild_ghost_base();
   }
   accumulate_long_range();
@@ -445,19 +550,129 @@ void ExposureEvaluator::blur_long_range() {
   perf_.blur_ms += ms_since(t0);
 }
 
+bool ExposureEvaluator::delta_capable() const {
+  // Short-only PSFs delta-update through the centroid cache alone; with
+  // long-range terms the shot-major splat view must exist (splat cache on).
+  if (long_terms_.empty()) return true;
+  return opt_.splat_cache && !shot_start_.empty();
+}
+
+void ExposureEvaluator::apply_full(const double* doses, std::size_t begin,
+                                   std::size_t end) {
+  // The oracle path: apply every requested dose (deferred remainders
+  // included) and re-derive all cached state from scratch — bit-identical to
+  // a fresh evaluator at these doses, and to the pre-delta engine.
+  for (std::size_t i = begin; i < end; ++i) shots_[i].dose = doses[i - begin];
+  if (ghost_base_ && end > active_) rebuild_ghost_base();
+  accumulate_long_range();
+  short_cache_valid_ = false;
+  delta_streak_ = 0;
+}
+
+void ExposureEvaluator::apply_delta(const double* doses, std::size_t begin,
+                                    std::size_t end) {
+  (void)end;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool have_maps = long_base_ != nullptr;
+  double* base = have_maps ? long_base_->data().data() : nullptr;
+  double* bg = ghost_base_ ? ghost_base_->data().data() : nullptr;
+  const bool shorts = short_cache_valid_ && !short_terms_.empty();
+  for (const std::uint32_t j : moved_scratch_) {
+    const double d_new = doses[j - begin];
+    const double delta = d_new - shots_[j].dose;
+    shots_[j].dose = d_new;
+    if (have_maps) {
+      if (j < active_) {
+        // Cached splats re-weighted by the dose delta, straight into the
+        // shared base map.
+        for (std::uint32_t k = shot_start_[j]; k < shot_start_[j + 1]; ++k)
+          base[shot_px_[k]] += delta * static_cast<double>(shot_frac_[k]);
+      } else {
+        // Moved ghost: its coverage is not cached (background memory stays
+        // O(active)), so delta-rasterize it into both the frozen ghost map
+        // and the base map.
+        long_base_->visit_coverage(shots_[j].shape, [&](int ix, int iy, double frac) {
+          const std::size_t p =
+              static_cast<std::size_t>(iy) * long_base_->width() + ix;
+          bg[p] += delta * frac;
+          base[p] += delta * frac;
+        });
+      }
+    }
+    if (shorts) scatter_short_delta(j, delta);
+  }
+  perf_.delta_accumulate_ms += ms_since(t0);
+  perf_.shots_updated += static_cast<long long>(moved_scratch_.size());
+  ++perf_.delta_refreshes;
+  ++delta_streak_;
+  if (have_maps) blur_long_range();
+}
+
+void ExposureEvaluator::update_doses(const double* doses, std::size_t begin,
+                                     std::size_t end, bool include_background) {
+  (void)include_background;
+  if (opt_.delta_threshold <= 0 || !delta_capable()) {
+    apply_full(doses, begin, end);
+    return;
+  }
+  // Moved set: shots whose requested dose drifted beyond the threshold from
+  // the applied one. Sub-threshold requests are deferred (the applied dose
+  // keeps its value), so a slowly creeping dose is applied once its
+  // accumulated drift crosses the threshold — the evaluator never deviates
+  // from the requests by more than delta_threshold relative.
+  moved_scratch_.clear();
+  const double theta = opt_.delta_threshold;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double d_new = doses[i - begin];
+    const double d_old = shots_[i].dose;
+    if (d_new == d_old) continue;
+    if (std::abs(d_new - d_old) > theta * std::max(std::abs(d_old), 1e-12))
+      moved_scratch_.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (moved_scratch_.empty()) {
+    // Nothing moved beyond the threshold: maps and caches are already
+    // current to within the documented bound — not even the blur reruns.
+    ++perf_.skipped_refreshes;
+    return;
+  }
+  // The delta path wins while the movers are a minority; past half the range
+  // (or the re-anchor cadence) the full gather is both cheaper and exact.
+  const bool engage = moved_scratch_.size() * 2 <= (end - begin) &&
+                      delta_streak_ < kDeltaReanchor;
+  if (engage) {
+    apply_delta(doses, begin, end);
+  } else {
+    apply_full(doses, begin, end);
+  }
+}
+
 void ExposureEvaluator::set_doses(const std::vector<double>& doses) {
   expects(doses.size() == shots_.size(), "set_doses: size mismatch");
-  for (std::size_t i = 0; i < doses.size(); ++i) shots_[i].dose = doses[i];
-  // Background doses may have moved: re-rasterize their frozen map before
-  // the gather folds it back in.
-  if (ghost_base_) rebuild_ghost_base();
-  accumulate_long_range();
+  update_doses(doses.data(), 0, shots_.size(), active_ < shots_.size());
 }
 
 void ExposureEvaluator::set_active_doses(const std::vector<double>& doses) {
   expects(doses.size() == active_, "set_active_doses: size mismatch");
-  for (std::size_t i = 0; i < doses.size(); ++i) shots_[i].dose = doses[i];
+  update_doses(doses.data(), 0, active_, false);
+}
+
+void ExposureEvaluator::reset_doses(const std::vector<double>& doses) {
+  expects(doses.size() == shots_.size(), "reset_doses: size mismatch");
+  apply_full(doses.data(), 0, shots_.size());
+}
+
+void ExposureEvaluator::set_background_doses(const std::vector<double>& doses) {
+  expects(doses.size() == shots_.size() - active_,
+          "set_background_doses: size mismatch");
+  if (doses.empty()) return;
+  // Exact by design (see the header): dose-dependent state is rebuilt the
+  // way construction builds it, so a resident shard evaluator refreshed here
+  // is bit-identical to a freshly built one at the same doses.
+  for (std::size_t i = 0; i < doses.size(); ++i) shots_[active_ + i].dose = doses[i];
+  if (ghost_base_) rebuild_ghost_base();
   accumulate_long_range();
+  short_cache_valid_ = false;
+  delta_streak_ = 0;
 }
 
 void ExposureEvaluator::set_blur_backend(BlurBackend backend) {
@@ -494,44 +709,42 @@ std::pair<double, double> ExposureEvaluator::centroid(std::size_t i) const {
   return {cx, cy};
 }
 
+template <typename Fn>
+void ExposureEvaluator::visit_short_neighbors(double px, double py, Fn&& fn) const {
+  const std::uint32_t epoch = begin_visit_epoch(shots_.size());
+  VisitScratch& vs = t_visit;
+  const int cx = static_cast<int>(std::floor((px - grid_origin_.x) / cell_));
+  const int cy = static_cast<int>(std::floor((py - grid_origin_.y) / cell_));
+  const int reach = static_cast<int>(std::ceil(cutoff_ / cell_)) + 1;
+  const double cut2 = cutoff_ * cutoff_;
+  for (int y = std::max(0, cy - reach); y <= std::min(gy_ - 1, cy + reach); ++y) {
+    for (int x = std::max(0, cx - reach); x <= std::min(gx_ - 1, cx + reach); ++x) {
+      const std::size_t c = static_cast<std::size_t>(y) * gx_ + x;
+      for (std::uint32_t k = grid_start_[c]; k < grid_start_[c + 1]; ++k) {
+        const std::uint32_t idx = grid_items_[k];
+        if (vs.stamp[idx] == epoch) continue;  // already seen via another cell
+        vs.stamp[idx] = epoch;
+        const Box bb = shots_[idx].shape.bbox();
+        // Cheap reject by bbox distance vs cutoff.
+        const double dx = std::max({double(bb.lo.x) - px, px - double(bb.hi.x), 0.0});
+        const double dy = std::max({double(bb.lo.y) - py, py - double(bb.hi.y), 0.0});
+        if (dx * dx + dy * dy > cut2) continue;
+        fn(idx);
+      }
+    }
+  }
+}
+
 double ExposureEvaluator::exposure_at(double px, double py) const {
   double e = 0.0;
 
   if (!short_terms_.empty()) {
-    VisitScratch& vs = t_visit;
-    if (vs.stamp.size() < shots_.size()) {
-      vs.stamp.assign(shots_.size(), 0);
-      vs.epoch = 0;
-    }
-    if (++vs.epoch == 0) {  // epoch wrapped: all marks are stale anyway
-      std::fill(vs.stamp.begin(), vs.stamp.end(), 0);
-      vs.epoch = 1;
-    }
-    const std::uint32_t epoch = vs.epoch;
-
-    const int cx = static_cast<int>(std::floor((px - grid_origin_.x) / cell_));
-    const int cy = static_cast<int>(std::floor((py - grid_origin_.y) / cell_));
-    const int reach = static_cast<int>(std::ceil(cutoff_ / cell_)) + 1;
-    const double cut2 = cutoff_ * cutoff_;
-    for (int y = std::max(0, cy - reach); y <= std::min(gy_ - 1, cy + reach); ++y) {
-      for (int x = std::max(0, cx - reach); x <= std::min(gx_ - 1, cx + reach); ++x) {
-        const std::size_t c = static_cast<std::size_t>(y) * gx_ + x;
-        for (std::uint32_t k = grid_start_[c]; k < grid_start_[c + 1]; ++k) {
-          const std::uint32_t idx = grid_items_[k];
-          if (vs.stamp[idx] == epoch) continue;  // already summed via another cell
-          vs.stamp[idx] = epoch;
-          const Shot& s = shots_[idx];
-          const Box bb = s.shape.bbox();
-          // Cheap reject by bbox distance vs cutoff.
-          const double dx = std::max({double(bb.lo.x) - px, px - double(bb.hi.x), 0.0});
-          const double dy = std::max({double(bb.lo.y) - py, py - double(bb.hi.y), 0.0});
-          if (dx * dx + dy * dy > cut2) continue;
-          for (const PsfTerm& term : short_terms_) {
-            e += s.dose * term_exposure_trapezoid(term, s.shape, px, py);
-          }
-        }
+    visit_short_neighbors(px, py, [&](std::uint32_t idx) {
+      const Shot& s = shots_[idx];
+      for (const PsfTerm& term : short_terms_) {
+        e += s.dose * term_exposure_trapezoid(term, s.shape, px, py);
       }
-    }
+    });
   }
 
   for (const TermMap& tm : term_maps_) {
@@ -543,14 +756,124 @@ double ExposureEvaluator::exposure_at(double px, double py) const {
   return e;
 }
 
+void ExposureEvaluator::eval_erf(const double* x, double* y, std::size_t n) const {
+  if (opt_.fast_erf) {
+    erf_batch(x, y, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) y[i] = std::erf(x[i]);
+  }
+}
+
+double ExposureEvaluator::short_exposure_batched(double px, double py) const {
+  // The exposure_at neighbor walk, but the erf evaluations of the whole
+  // query are packed into one batch. Shots are accepted in cell-scan order
+  // and combined in emission order, so the sum is a deterministic function
+  // of the query alone.
+  ShortScratch& sc = t_short;
+  sc.args.clear();
+  sc.wgt.clear();
+
+  visit_short_neighbors(px, py, [&](std::uint32_t idx) {
+    const Shot& s = shots_[idx];
+    for (const PsfTerm& term : short_terms_) {
+      emit_term_rects(term, s.shape, px, py, s.dose, sc.args, sc.wgt);
+    }
+  });
+
+  sc.erfs.resize(sc.args.size());
+  eval_erf(sc.args.data(), sc.erfs.data(), sc.args.size());
+  double e = 0.0;
+  for (std::size_t r = 0; r < sc.wgt.size(); ++r) {
+    e += sc.wgt[r] * (sc.erfs[4 * r + 1] - sc.erfs[4 * r]) *
+         (sc.erfs[4 * r + 3] - sc.erfs[4 * r + 2]);
+  }
+  return e;
+}
+
+double ExposureEvaluator::short_kernel_batched(const Trapezoid& shape, double px,
+                                               double py) const {
+  // Unit-dose short-range kernel of one shape at one point — the delta
+  // increment the scatter multiplies by the dose change. Shares the batched
+  // rectangle pipeline with the sweep.
+  ShortScratch& sc = t_short;
+  sc.args.clear();
+  sc.wgt.clear();
+  for (const PsfTerm& term : short_terms_) {
+    emit_term_rects(term, shape, px, py, 1.0, sc.args, sc.wgt);
+  }
+  sc.erfs.resize(sc.args.size());
+  eval_erf(sc.args.data(), sc.erfs.data(), sc.args.size());
+  double e = 0.0;
+  for (std::size_t r = 0; r < sc.wgt.size(); ++r) {
+    e += sc.wgt[r] * (sc.erfs[4 * r + 1] - sc.erfs[4 * r]) *
+         (sc.erfs[4 * r + 3] - sc.erfs[4 * r + 2]);
+  }
+  return e;
+}
+
+void ExposureEvaluator::scatter_short_delta(std::uint32_t shot, double delta) {
+  // Update the cached short-range sums of every active centroid within the
+  // cutoff of the moved shot. The inclusion test (centroid-to-bbox distance
+  // against the cutoff) is exactly the sweep's, so the cache stays a
+  // faithful incremental image of the full recomputation.
+  const Box bb = shots_[shot].shape.bbox();
+  const std::uint32_t epoch = begin_visit_epoch(shots_.size());
+  VisitScratch& vs = t_visit;
+  const double cut2 = cutoff_ * cutoff_;
+  const int x0 = std::max(
+      0, static_cast<int>(std::floor((bb.lo.x - cutoff_ - grid_origin_.x) / cell_)));
+  const int x1 = std::min(
+      gx_ - 1,
+      static_cast<int>(std::floor((bb.hi.x + cutoff_ - grid_origin_.x) / cell_)));
+  const int y0 = std::max(
+      0, static_cast<int>(std::floor((bb.lo.y - cutoff_ - grid_origin_.y) / cell_)));
+  const int y1 = std::min(
+      gy_ - 1,
+      static_cast<int>(std::floor((bb.hi.y + cutoff_ - grid_origin_.y) / cell_)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const std::size_t c = static_cast<std::size_t>(y) * gx_ + x;
+      for (std::uint32_t k = grid_start_[c]; k < grid_start_[c + 1]; ++k) {
+        const std::uint32_t idx = grid_items_[k];
+        if (vs.stamp[idx] == epoch) continue;
+        vs.stamp[idx] = epoch;
+        if (idx >= active_) continue;  // only active centroids are cached
+        const double px = cx_[idx];
+        const double py = cy_[idx];
+        const double dx = std::max({double(bb.lo.x) - px, px - double(bb.hi.x), 0.0});
+        const double dy = std::max({double(bb.lo.y) - py, py - double(bb.hi.y), 0.0});
+        if (dx * dx + dy * dy > cut2) continue;
+        short_cache_[idx] += delta * short_kernel_batched(shots_[shot].shape, px, py);
+      }
+    }
+  }
+}
+
+void ExposureEvaluator::refresh_short_cache() const {
+  short_cache_.resize(active_);
+  parallel_for(
+      active_,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i)
+          short_cache_[i] = short_exposure_batched(cx_[i], cy_[i]);
+      },
+      opt_.threads);
+  short_cache_valid_ = true;
+}
+
 std::vector<double> ExposureEvaluator::exposures_at_centroids() const {
   std::vector<double> out(active_);
+  const bool shorts = !short_terms_.empty();
+  if (shorts && !short_cache_valid_) refresh_short_cache();
   parallel_for(
       active_,
       [&](std::size_t i0, std::size_t i1) {
         for (std::size_t i = i0; i < i1; ++i) {
-          const auto [cx, cy] = centroid(i);
-          out[i] = exposure_at(cx, cy);
+          double e = shorts ? short_cache_[i] : 0.0;
+          for (const TermMap& tm : term_maps_) {
+            e += tm.term.weight * tm.map->sample(cx_[i], cy_[i]);
+          }
+          out[i] = e;
         }
       },
       opt_.threads);

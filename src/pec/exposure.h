@@ -30,10 +30,20 @@
 //     kernel spectrum is applied to that single spectrum. Both backends
 //     compute the *same* truncated normalized kernel, so they agree to
 //     floating-point rounding; kAuto picks per construction by a flop model.
+//   - Dose updates are incremental (ExposureOptions::delta_threshold): the
+//     evaluator tracks per-shot dose deltas, and when only a minority of
+//     doses moved it re-weights just those shots' cached splats into the
+//     base map and patches the cached per-centroid short-range sums —
+//     O(moved) instead of O(everything) — with sub-threshold updates
+//     deferred entirely. Only the long-range blur still runs at full cost.
+//   - The centroid sweep's erf evaluations are batched through the
+//     vectorized polynomial in util/vecmath.h (4-wide AVX2 + FMA, ~4x libm;
+//     see ExposureOptions::fast_erf).
 //   - exposures_at_centroids, splat re-accumulation, and both blur backends
 //     run on the util/parallel.h thread pool. Results are bit-identical for
 //     any thread count: work is only ever split over disjoint output
-//     elements, each of which is computed in a fixed sequential order.
+//     elements, each of which is computed in a fixed sequential order, and
+//     delta scatters run serially in shot order.
 #pragma once
 
 #include <cstdint>
@@ -97,14 +107,65 @@ struct ExposureOptions {
   /// kernel against the padded-FFT plan and keeps the cheaper one; results
   /// are backend-independent to floating-point rounding either way.
   BlurBackend blur_backend = BlurBackend::kAuto;
+
+  /// Incremental dose-delta updates. After a few Jacobi sweeps most doses
+  /// move by far less than the correction tolerance; re-gathering every splat
+  /// (and re-summing every analytic neighbor term) for updates that moved
+  /// almost nothing is where the iterative corrector used to spend its tail.
+  /// When > 0, set_doses / set_active_doses compare each requested dose with
+  /// the one currently applied:
+  ///   - a shot whose relative change is at most delta_threshold is
+  ///     *deferred*: its applied dose keeps its old value until the
+  ///     accumulated request drifts past the threshold (or the next full
+  ///     refresh applies everything), so the evaluator's state deviates from
+  ///     the requested doses by at most delta_threshold relative — far below
+  ///     the correction tolerance at the default;
+  ///   - when the moved shots are a minority (at most half of the updated
+  ///     range), only *their* contributions are re-applied: cached splats are
+  ///     re-weighted by the dose delta directly into the shared base map
+  ///     (O(moved x footprint) instead of the full O(pixels + splats)
+  ///     gather), and the cached per-centroid short-range sums are updated
+  ///     the same way. The long-range blur still reruns on the updated map.
+  /// Every kDeltaReanchor-th delta refresh re-gathers in full to keep the
+  /// ~1e-16-per-update rounding drift bounded (well under 1e-12 in
+  /// practice). 0 disables the path entirely: every update re-applies every
+  /// dose through the full gather, bit-identical to the pre-delta engine —
+  /// that is the oracle the equivalence tests compare against.
+  double delta_threshold = 1e-4;
+
+  /// Evaluate the centroid sweep's error functions with the vectorized
+  /// polynomial in util/vecmath.h (|error| <= 2e-7, ~4x libm throughput on
+  /// AVX2) instead of libm's erf. The analytic path already truncates at
+  /// cutoff_sigmas (~1e-6 of a term weight), so the approximation does not
+  /// change the documented accuracy; exposure_at (the arbitrary-point API)
+  /// always uses libm. Disable for erf-exact sweeps.
+  bool fast_erf = true;
 };
 
 /// Wall-clock accounting of the long-range refresh, for benchmarks and the
 /// auto-backend calibration. Times accumulate across set_doses calls.
 struct BlurPerf {
-  double accumulate_ms = 0.0;  ///< splat gather / re-rasterization
+  double accumulate_ms = 0.0;  ///< full splat gathers / re-rasterizations
   double blur_ms = 0.0;        ///< per-term convolutions (either backend)
-  int refreshes = 0;           ///< completed long-range refreshes
+  int refreshes = 0;           ///< completed *full* long-range refreshes
+
+  // Delta-path accounting (see ExposureOptions::delta_threshold).
+  double delta_accumulate_ms = 0.0;  ///< delta scatters (splats + short sums)
+  int delta_refreshes = 0;           ///< refreshes served by the delta path
+  int skipped_refreshes = 0;  ///< set_* calls where no dose moved at all
+  long long shots_updated = 0;  ///< shots re-weighted across delta refreshes
+
+  /// Fold another evaluator's counters into this one (sharded solves
+  /// aggregate their per-shard evaluators; summation order is the caller's).
+  void merge(const BlurPerf& o) {
+    accumulate_ms += o.accumulate_ms;
+    blur_ms += o.blur_ms;
+    refreshes += o.refreshes;
+    delta_accumulate_ms += o.delta_accumulate_ms;
+    delta_refreshes += o.delta_refreshes;
+    skipped_refreshes += o.skipped_refreshes;
+    shots_updated += o.shots_updated;
+  }
 };
 
 /// Evaluates exposure for a fixed shot geometry; per-shot doses can be
@@ -148,6 +209,28 @@ class ExposureEvaluator {
   /// background doses stay frozen. Refreshes cached maps.
   void set_active_doses(const std::vector<double>& doses);
 
+  /// Replaces every dose (active and background) through the exact
+  /// full-refresh path, regardless of delta_threshold: all requested doses
+  /// are applied, the frozen ghost map and base map are rebuilt, and the
+  /// short-range cache is invalidated — the evaluator afterwards is
+  /// bit-identical to one freshly constructed at these doses. The sharded
+  /// corrector uses this to re-enter a resident shard whose own doses it
+  /// cannot prove current (see set_background_doses for the ghost-only
+  /// variant).
+  void reset_doses(const std::vector<double>& doses);
+
+  /// Replaces the background (ghost) doses only (size must match
+  /// shots().size() - active_count()); active doses stay as applied. This is
+  /// the halo-exchange entry point for a resident shard evaluator: the
+  /// refresh is *exact* — frozen ghost map re-rasterized, base map fully
+  /// re-gathered, short-range cache invalidated — so the evaluator's state
+  /// afterwards is bit-identical to a freshly constructed evaluator at the
+  /// same doses, while the expensive geometry caches (neighbor grid, splat
+  /// clipping, kernel taps, FFT plan) are reused. That equivalence is what
+  /// lets the sharded corrector evict and rebuild pool entries without
+  /// changing a single bit of the result.
+  void set_background_doses(const std::vector<double>& doses);
+
   /// Switches the long-range blur backend and re-derives the blurred maps
   /// from the current doses (the accumulated base map is reused). Lets
   /// benchmarks compare backends on one evaluator instead of paying the
@@ -165,6 +248,12 @@ class ExposureEvaluator {
 
   /// Exposures at every *active* shot's representative point (centroid).
   /// Runs on the thread pool; output is identical for any thread count.
+  /// The short-range (analytic) part of the sweep is cached per centroid and
+  /// kept current by the delta path, so sweeps after a small dose update
+  /// cost the long-map samples plus the moved shots' neighborhoods only.
+  /// The cache refresh mutates internal state: concurrent sweep calls on one
+  /// evaluator are not supported (point queries via exposure_at remain
+  /// thread-safe).
   std::vector<double> exposures_at_centroids() const;
 
   /// Representative (centroid) point of shot i.
@@ -179,6 +268,25 @@ class ExposureEvaluator {
   void rebuild_ghost_base();
   void accumulate_long_range();
   void blur_long_range();
+
+  // Delta-path internals (see ExposureOptions::delta_threshold).
+  bool delta_capable() const;
+  void update_doses(const double* doses, std::size_t begin, std::size_t end,
+                    bool include_background);
+  void apply_full(const double* doses, std::size_t begin, std::size_t end);
+  void apply_delta(const double* doses, std::size_t begin, std::size_t end);
+  void scatter_short_delta(std::uint32_t shot, double delta);
+  void refresh_short_cache() const;
+  // Shared neighbor walk of the analytic path: epoch-deduped grid scan
+  // around (px, py) with the cutoff bbox-distance reject, invoking
+  // fn(shot_index) for every accepted shot in deterministic cell-scan
+  // order. Both the scalar point query and the batched sweep go through it,
+  // so their inclusion semantics cannot drift apart.
+  template <typename Fn>
+  void visit_short_neighbors(double px, double py, Fn&& fn) const;
+  double short_exposure_batched(double px, double py) const;
+  double short_kernel_batched(const Trapezoid& shape, double px, double py) const;
+  void eval_erf(const double* x, double* y, std::size_t n) const;
 
   ShotList shots_;
   std::size_t active_ = 0;  ///< shots_[0..active_) take dose updates
@@ -216,11 +324,29 @@ class ExposureEvaluator {
   std::vector<std::uint32_t> px_start_;
   std::vector<std::uint32_t> px_shot_;
   std::vector<float> px_frac_;
+  // Shot-major view of the same splats (shot j's footprint is
+  // shot_px_/shot_frac_[shot_start_[j] .. shot_start_[j+1])): the delta path
+  // scatters a moved shot's dose change straight into the base map through
+  // it. Built from the same emission stream as the pixel-major CSR, so the
+  // fractions are bit-identical between the two views.
+  std::vector<std::uint32_t> shot_start_;
+  std::vector<std::uint32_t> shot_px_;
+  std::vector<float> shot_frac_;
   std::vector<TermMap> term_maps_;
   bool use_fft_ = false;
   int max_radius_ = 0;
   std::unique_ptr<FftConvolver> convolver_;  // created lazily on first FFT use
   BlurPerf perf_;
+
+  // Active-centroid cache (query points of the sweep) and the cached
+  // short-range analytic sums at them. The cache is rebuilt on the next
+  // sweep after any full refresh and kept current by delta scatters
+  // otherwise; mutable because the sweep (const) owns the lazy rebuild.
+  std::vector<double> cx_, cy_;
+  mutable std::vector<double> short_cache_;
+  mutable bool short_cache_valid_ = false;
+  int delta_streak_ = 0;  ///< delta refreshes since the last full gather
+  std::vector<std::uint32_t> moved_scratch_;
 };
 
 /// Separable Gaussian blur of a raster (kernel truncated at 4 sigma), with

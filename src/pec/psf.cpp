@@ -95,4 +95,13 @@ double exposure_trapezoid(const Psf& psf, const Trapezoid& t, double px, double 
   return sum;
 }
 
+double backscatter_eta(const Psf& psf) {
+  double max_sigma = 0.0;
+  for (const PsfTerm& t : psf.terms()) max_sigma = std::max(max_sigma, t.sigma);
+  double wb = 0.0;
+  double wf = 0.0;
+  for (const PsfTerm& t : psf.terms()) (t.sigma == max_sigma ? wb : wf) += t.weight;
+  return wf > 0 ? wb / wf : 0.0;
+}
+
 }  // namespace ebl

@@ -67,4 +67,10 @@ double term_exposure_trapezoid(const PsfTerm& term, const Trapezoid& t, double p
 /// Full-PSF exposure at @p p of a unit-dose trapezoid.
 double exposure_trapezoid(const Psf& psf, const Trapezoid& t, double px, double py);
 
+/// Backscattered-to-forward energy ratio implied by the PSF, taking the
+/// longest-range term as "backscatter" — the eta of the closed-form density
+/// correction d(u) = (1 + 2 eta) / (1 + 2 eta u). Shared by density_pec and
+/// the sharded corrector's warm start.
+double backscatter_eta(const Psf& psf);
+
 }  // namespace ebl

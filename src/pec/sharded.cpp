@@ -1,11 +1,15 @@
 #include "pec/sharded.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 
+#include "geom/raster.h"
 #include "pec/exposure.h"
 #include "util/contracts.h"
+#include "util/fft.h"
 #include "util/gridkeys.h"
 #include "util/parallel.h"
 
@@ -125,68 +129,139 @@ struct ShardOutcome {
   double exit_error = 0.0;   ///< max error at the last evaluation of the run
   int iterations = 0;        ///< Jacobi update steps run this round
   bool updated = false;      ///< any dose actually changed this round
+  bool optimistic = false;   ///< exited after an update it did not re-verify
+  BlurPerf perf;             ///< this run's evaluator refresh accounting
 };
 
-// One shard's solve for one round: build the local evaluator (owned shots
-// active, ghosts background at their published doses), run the same Jacobi
-// update the global corrector uses, and write the new doses to *next. With
-// correct == false only the entry error is measured (the verification
-// pass). The evaluator lives for the duration of the call, so memory in
-// flight is O(concurrent shards * shard size).
+BlurPerf perf_since(const BlurPerf& now, const BlurPerf& then) {
+  BlurPerf d = now;
+  d.accumulate_ms -= then.accumulate_ms;
+  d.blur_ms -= then.blur_ms;
+  d.refreshes -= then.refreshes;
+  d.delta_accumulate_ms -= then.delta_accumulate_ms;
+  d.delta_refreshes -= then.delta_refreshes;
+  d.skipped_refreshes -= then.skipped_refreshes;
+  d.shots_updated -= then.shots_updated;
+  return d;
+}
+
+// Per-shard optimistic exit: with exchange rounds still ahead, a shard whose
+// error is already within this factor of tolerance publishes its next Jacobi
+// update *without* paying the refresh + sweep to verify it — the following
+// round (which re-runs the shard, its own doses being unverified) or the
+// final measurement pass performs the check. Convergence certification is
+// untouched: only a full round in which no shard changes a dose settles the
+// solve, and such a round has verified every shard against the final doses.
+constexpr double kOptimisticExitFactor = 20.0;
+
+// Shards solve past the caller's tolerance so that cross-shard residuals
+// (the halo doses a shard could not see moving) do not push the globally
+// measured error back over it, and so the sharded dose field stays within
+// the tolerance of the monolithic solve's in dose space. A single-shard
+// layout has no such residual and keeps the exact tolerance — that
+// degenerate case must stay bitwise-identical to the monolithic solve.
+constexpr double kShardToleranceSlack = 0.5;
+
+// One shard's solve for one round. A fresh run builds the local evaluator
+// (owned shots active, ghosts background at their published doses); a
+// resident evaluator (pool != null with an existing instance) is refreshed
+// through the exact dose-reset paths instead — bit-identical state either
+// way, so residency and eviction never change results, only construction
+// cost. The Jacobi loop is the global corrector's, including the delta-mode
+// update schedule. Published doses are the evaluator's *applied* doses
+// (sub-threshold updates the evaluator deferred are not published), except
+// after an optimistic exit, which publishes the final unverified update and
+// flags itself for re-verification. With correct == false only the entry
+// error is measured (the verification pass).
 ShardOutcome run_shard(const ShotList& shots, const Psf& psf,
                        const PecOptions& options, const ShardLayout& L,
                        std::size_t slot, const std::vector<double>& doses,
                        std::vector<double>* next, std::vector<std::uint8_t>* changed,
-                       bool correct) {
+                       bool correct, double tol, bool allow_optimistic, bool reset_all,
+                       std::unique_ptr<ExposureEvaluator>* pool_slot, bool pooled) {
   const std::uint32_t* active = L.active_items.data() + L.active_start[slot];
   const std::size_t na = L.active_start[slot + 1] - L.active_start[slot];
   const std::uint32_t* ghosts = L.ghost_items.data() + L.ghost_start[slot];
   const std::size_t ng = L.ghost_start[slot + 1] - L.ghost_start[slot];
 
-  ShotList local;
-  local.reserve(na + ng);
-  for (std::size_t k = 0; k < na; ++k)
-    local.push_back(Shot{shots[active[k]].shape, doses[active[k]]});
-  for (std::size_t k = 0; k < ng; ++k)
-    local.push_back(Shot{shots[ghosts[k]].shape, doses[ghosts[k]]});
-  // Centroid queries never leave the shard bbox, so the local long-range map
-  // drops its off-pattern sampling margin — on small shards the dead border
-  // would otherwise rival the shard itself. Measurement-only runs sweep the
-  // centroids exactly once, so they also skip the splat cache (one direct
-  // rasterization instead of a cache build that would never be re-weighted).
-  ExposureOptions eopt = options.exposure;
-  eopt.map_margin_sigmas = 0.0;
-  if (!correct) eopt.splat_cache = false;
-  ExposureEvaluator eval(std::move(local), na, psf, eopt);
+  ExposureEvaluator* eval = nullptr;
+  std::unique_ptr<ExposureEvaluator> transient;
+  BlurPerf perf0;
+  if (pool_slot && *pool_slot) {
+    // Resident re-entry: reuse the geometry caches, reset the dose state
+    // exactly. Ghost doses always come in fresh; the shard's own doses are
+    // re-applied too when they are not known to match the evaluator
+    // (optimistic exit last round, or post-quantization measurement).
+    eval = pool_slot->get();
+    perf0 = eval->blur_perf();
+    if (reset_all) {
+      std::vector<double> all(na + ng);
+      for (std::size_t k = 0; k < na; ++k) all[k] = doses[active[k]];
+      for (std::size_t k = 0; k < ng; ++k) all[na + k] = doses[ghosts[k]];
+      eval->reset_doses(all);
+    } else {
+      std::vector<double> bg(ng);
+      for (std::size_t k = 0; k < ng; ++k) bg[k] = doses[ghosts[k]];
+      eval->set_background_doses(bg);
+    }
+  } else {
+    ShotList local;
+    local.reserve(na + ng);
+    for (std::size_t k = 0; k < na; ++k)
+      local.push_back(Shot{shots[active[k]].shape, doses[active[k]]});
+    for (std::size_t k = 0; k < ng; ++k)
+      local.push_back(Shot{shots[ghosts[k]].shape, doses[ghosts[k]]});
+    // Centroid queries never leave the shard bbox, so the local long-range
+    // map drops its off-pattern sampling margin — on small shards the dead
+    // border would otherwise rival the shard itself. Without the resident
+    // pool, measurement-only runs also skip the splat cache (one direct
+    // rasterization instead of a cache that would never be re-weighted);
+    // with it they keep the cache so a pooled and an unpooled measurement
+    // run the same arithmetic.
+    ExposureOptions eopt = options.exposure;
+    eopt.map_margin_sigmas = 0.0;
+    if (!correct && !pooled) eopt.splat_cache = false;
+    transient = std::make_unique<ExposureEvaluator>(std::move(local), na, psf, eopt);
+    eval = transient.get();
+    if (pool_slot) *pool_slot = std::move(transient);  // granted residency
+  }
 
   std::vector<double> d(na);
   for (std::size_t k = 0; k < na; ++k) d[k] = doses[active[k]];
 
+  const bool delta_mode = options.exposure.delta_threshold > 0;
   ShardOutcome out;
   for (int iter = 0;; ++iter) {
-    const std::vector<double> e = eval.exposures_at_centroids();
+    const std::vector<double> e = eval->exposures_at_centroids();
     double max_err = 0.0;
     for (double ei : e) max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
     if (iter == 0) out.entry_error = max_err;
     out.exit_error = max_err;
-    if (max_err < options.tolerance || !correct || iter >= options.max_iterations)
-      break;
+    if (max_err < tol || !correct || iter >= options.max_iterations) break;
+    const double update_tol = jacobi_update_tolerance(delta_mode, tol, max_err);
     for (std::size_t k = 0; k < na; ++k) {
-      const double ratio = options.target / std::max(e[k], 1e-9);
-      d[k] = std::clamp(d[k] * std::pow(ratio, options.damping), options.min_dose,
-                        options.max_dose);
+      d[k] = jacobi_updated_dose(d[k], e[k], update_tol, options);
     }
     out.iterations = iter + 1;
-    eval.set_active_doses(d);
+    if (allow_optimistic && tol > 0 && max_err <= kOptimisticExitFactor * tol) {
+      out.optimistic = true;
+      break;
+    }
+    eval->set_active_doses(d);
   }
   // Exact per-shot change flags: a clamped dose can survive an update step
-  // unchanged, and only real changes should dirty the neighbors.
+  // unchanged, and only real changes should dirty the neighbors. Published
+  // doses are the evaluator's applied ones (see the function comment) so a
+  // resident evaluator re-entering through set_background_doses is exactly
+  // at the published state.
   for (std::size_t k = 0; k < na; ++k) {
-    const bool moved = d[k] != doses[active[k]];
+    const double dk = out.optimistic ? d[k] : eval->shots()[k].dose;
+    const bool moved = dk != doses[active[k]];
     out.updated |= moved;
-    if (next) (*next)[active[k]] = d[k];
+    if (next) (*next)[active[k]] = dk;
     if (changed && moved) (*changed)[active[k]] = 1;
   }
+  out.perf = perf_since(eval->blur_perf(), perf0);
   return out;
 }
 
@@ -203,10 +278,93 @@ bool ghosts_dirty(const ShardLayout& L, std::size_t slot,
   return false;
 }
 
+// Density-formula warm start: every shot's initial dose from the closed-form
+// equalization d(u) = (1 + 2 eta) / (1 + 2 eta u), with u the local
+// backscatter-blurred pattern density computed per shard on a coarse raster
+// over shard + halo (O(shard) memory, halo = kernel truncation, so the local
+// density equals the global one to the same 1e-6 the halo scheme already
+// accepts). Each shard writes only its own shots' doses, so the sweep is
+// deterministic for any thread count.
+void density_warm_start(const ShotList& shots, const Psf& psf,
+                        const PecOptions& options, const ShardLayout& L,
+                        std::vector<double>* doses) {
+  const double eta = backscatter_eta(psf);
+  const double max_sigma = psf.max_sigma();
+  const Coord pixel = std::max<Coord>(1, static_cast<Coord>(max_sigma / 4.0));
+  const Coord margin = static_cast<Coord>(std::ceil(4.0 * max_sigma));
+  parallel_for(
+      L.count,
+      [&](std::size_t s0, std::size_t s1) {
+        for (std::size_t slot = s0; slot < s1; ++slot) {
+          const std::uint32_t* active = L.active_items.data() + L.active_start[slot];
+          const std::size_t na = L.active_start[slot + 1] - L.active_start[slot];
+          const std::uint32_t* ghosts = L.ghost_items.data() + L.ghost_start[slot];
+          const std::size_t ng = L.ghost_start[slot + 1] - L.ghost_start[slot];
+          Box frame;
+          for (std::size_t k = 0; k < na; ++k)
+            frame += shots[active[k]].shape.bbox();
+          for (std::size_t k = 0; k < ng; ++k)
+            frame += shots[ghosts[k]].shape.bbox();
+          Raster density(frame.bloated(margin), pixel);
+          for (std::size_t k = 0; k < na; ++k)
+            density.add_coverage(shots[active[k]].shape, 1.0);
+          for (std::size_t k = 0; k < ng; ++k)
+            density.add_coverage(shots[ghosts[k]].shape, 1.0);
+          gaussian_blur(density, max_sigma, options.exposure.blur_backend,
+                        options.exposure.threads);
+          for (std::size_t k = 0; k < na; ++k) {
+            const Trapezoid& t = shots[active[k]].shape;
+            const double cx = 0.25 * (double(t.xl0) + t.xr0 + t.xl1 + t.xr1);
+            const double cy = 0.5 * (double(t.y0) + t.y1);
+            const double u = std::clamp(density.sample(cx, cy), 0.0, 1.0);
+            const double dose = (1.0 + 2.0 * eta) / (1.0 + 2.0 * eta * u);
+            (*doses)[active[k]] =
+                std::clamp(dose * options.target, options.min_dose, options.max_dose);
+          }
+        }
+      },
+      options.exposure.threads);
+}
+
 }  // namespace
 
 Coord default_shard_size(const Psf& psf) {
   return std::max<Coord>(1, static_cast<Coord>(64.0 * psf.max_sigma()));
+}
+
+Coord default_shard_size(const Psf& psf, const PecOptions& options) {
+  const Coord base = default_shard_size(psf);
+  double sigma_min_long = 0.0;
+  for (const PsfTerm& t : psf.terms()) {
+    if (t.sigma >= options.exposure.long_range_threshold &&
+        (sigma_min_long == 0.0 || t.sigma < sigma_min_long)) {
+      sigma_min_long = t.sigma;
+    }
+  }
+  if (sigma_min_long == 0.0) return base;  // all-short PSF: nothing to pad
+
+  // Reproduce the evaluator's map sizing: pixel from the finest long term,
+  // kernel radius from the widest, margin-0 maps (2 px each side), plus
+  // slack for shot bboxes overhanging the shard + halo frame. The FFT pads
+  // to the next power of two past map + radius; size the shard so an
+  // interior shard's map fills that grid instead of wasting up to 4x the
+  // padded area on it.
+  const Coord pixel = std::max<Coord>(
+      1, static_cast<Coord>(sigma_min_long / options.exposure.pixels_per_sigma));
+  const int radius = std::max(
+      1, static_cast<int>(std::ceil(4.0 * psf.max_sigma() / double(pixel))));
+  const Coord64 halo =
+      static_cast<Coord64>(std::ceil(options.halo_factor * psf.max_sigma()));
+  constexpr Coord64 kSlackPx = 48;  // sampling margin + shot-overhang allowance
+  const double base_side =
+      double(base + 2 * halo) / double(pixel) + double(radius) + double(kSlackPx);
+  std::size_t padded = fft_next_pow2(static_cast<std::size_t>(std::ceil(base_side)));
+  for (;;) {
+    const Coord64 snug =
+        (Coord64(padded) - radius - kSlackPx) * pixel - 2 * halo;
+    if (snug >= base) return static_cast<Coord>(std::min<Coord64>(snug, 2000000000));
+    padded *= 2;
+  }
 }
 
 PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
@@ -226,38 +384,102 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
 
   std::vector<double> doses(shots.size());
   for (std::size_t i = 0; i < shots.size(); ++i) doses[i] = shots[i].dose;
+
+  // Warm start (multi-shard only: the single-shard degenerate case is the
+  // bitwise reference against the monolithic solve, and has no frozen halos
+  // for the warm start to stabilize).
+  if (options.density_warm_start && ns > 1) {
+    density_warm_start(shots, psf, options, L, &doses);
+  }
   std::vector<double> next = doses;
 
   PecResult result;
   result.shards = static_cast<int>(ns);
+
+  // Resident evaluator pool: one slot per shard, filled up to the budget.
+  // Grants and evictions are planned serially before each round from the
+  // round's deterministic run set, so the pool contents never depend on
+  // thread scheduling — and since resident re-entry is exact (see
+  // run_shard), they could not change results even if they did.
+  const bool pooled = options.resident_shard_budget > 0;
+  const std::size_t budget =
+      pooled ? static_cast<std::size_t>(options.resident_shard_budget) : 0;
+  std::vector<std::unique_ptr<ExposureEvaluator>> pool(pooled ? ns : 0);
+  std::vector<int> last_used(pooled ? ns : 0, -1);
+  std::vector<std::uint8_t> grant(ns, 0);
+  int evictions = 0;
+  auto plan_residency = [&](const std::vector<std::uint8_t>& will_run) {
+    if (!pooled) return;
+    std::fill(grant.begin(), grant.end(), 0);
+    std::size_t resident = 0;
+    for (std::size_t s = 0; s < ns; ++s) resident += pool[s] != nullptr;
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (!will_run[s] || pool[s]) continue;
+      if (resident < budget) {
+        grant[s] = 1;
+        ++resident;
+        continue;
+      }
+      // Evict the least-recently-run resident that is idle this round
+      // (ties: highest slot), then grant its place.
+      std::size_t victim = ns;
+      for (std::size_t v = 0; v < ns; ++v) {
+        if (!pool[v] || will_run[v]) continue;
+        if (victim == ns || last_used[v] < last_used[victim] ||
+            (last_used[v] == last_used[victim] && v > victim)) {
+          victim = v;
+        }
+      }
+      if (victim == ns) break;  // every resident runs this round: rest transient
+      pool[victim].reset();
+      ++evictions;
+      grant[s] = 1;
+    }
+  };
 
   // Correction rounds: every shard solves against the round-start snapshot
   // (Jacobi across shards, so the outcome is independent of execution
   // order), then the snapshot advances. Each outcome lands in its own slot,
   // so the parallel sweep is deterministic for any thread count. Rounds
   // after the first are lazy: a shard re-runs only if one of its ghost
-  // doses changed in the previous round (see ghosts_dirty), so late rounds
-  // cost what the remaining boundary activity costs, not a full re-solve.
+  // doses changed in the previous round (see ghosts_dirty) or its own last
+  // update went unverified (optimistic exit), so late rounds cost what the
+  // remaining boundary activity costs, not a full re-solve.
   std::vector<ShardOutcome> outcomes(ns);
   std::vector<double> exit_err(ns, 0.0);
   std::vector<std::uint8_t> changed_prev(shots.size(), 1);
   std::vector<std::uint8_t> changed_cur(shots.size(), 0);
+  std::vector<std::uint8_t> will_run(ns, 0);
+  std::vector<std::uint8_t> self_dirty(ns, 0);
+  const double shard_tol =
+      ns > 1 ? kShardToleranceSlack * options.tolerance : options.tolerance;
   const int max_rounds = 1 + std::max(0, options.exchange_rounds);
   bool settled = false;  // a round ran and changed nothing
   int total_iterations = 0;
   for (int round = 0; round < max_rounds; ++round) {
+    const auto round_t0 = std::chrono::steady_clock::now();
     next = doses;  // skipped shards keep their slots verbatim
     std::fill(changed_cur.begin(), changed_cur.end(), 0);
+    for (std::size_t s = 0; s < ns; ++s) {
+      will_run[s] =
+          round == 0 || self_dirty[s] || ghosts_dirty(L, s, changed_prev);
+    }
+    plan_residency(will_run);
+    // Optimistic exits are only worth taking while a later round (or the
+    // measurement pass) is there to verify them.
+    const bool allow_optimistic = ns > 1;
     parallel_for(
         ns,
         [&](std::size_t s0, std::size_t s1) {
           for (std::size_t s = s0; s < s1; ++s) {
-            if (round > 0 && !ghosts_dirty(L, s, changed_prev)) {
-              outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false};
+            if (!will_run[s]) {
+              outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false, false, {}};
               continue;
             }
-            outcomes[s] =
-                run_shard(shots, psf, options, L, s, doses, &next, &changed_cur, true);
+            auto* slot = pooled && (pool[s] || grant[s]) ? &pool[s] : nullptr;
+            outcomes[s] = run_shard(shots, psf, options, L, s, doses, &next,
+                                    &changed_cur, true, shard_tol, allow_optimistic,
+                                    /*reset_all=*/self_dirty[s] != 0, slot, pooled);
             exit_err[s] = outcomes[s].exit_error;
           }
         },
@@ -269,13 +491,23 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
     double round_err = 0.0;
     int round_iters = 0;
     bool any_update = false;
-    for (const ShardOutcome& o : outcomes) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      const ShardOutcome& o = outcomes[s];
       round_err = std::max(round_err, o.entry_error);
       round_iters = std::max(round_iters, o.iterations);
       any_update |= o.updated;
+      if (will_run[s]) {
+        self_dirty[s] = o.optimistic ? 1 : 0;
+        if (pooled && pool[s]) last_used[s] = round;
+      }
+      result.blur.merge(o.perf);
     }
     result.max_error_history.push_back(round_err);
     total_iterations += round_iters;
+    result.round_ms.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  round_t0)
+            .count());
     if (!any_update) {
       // Every shard met tolerance against its neighbors' published doses
       // without moving: cross-shard convergence is certified.
@@ -304,27 +536,44 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
     // Measurement-only pass with the delivered doses everywhere, halos
     // included — comparable to the global corrector's final error up to the
     // halo truncation. Shards whose visible doses did not change since their
-    // last evaluation reuse that (still exact) error; quantization moves
-    // doses globally and forces a full re-measure.
+    // last (verified) evaluation reuse that still-exact error; quantization
+    // moves doses globally and forces a full re-measure.
+    const auto measure_t0 = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < ns; ++s) {
+      will_run[s] = doses_moved || self_dirty[s] || ghosts_dirty(L, s, changed_prev);
+    }
+    plan_residency(will_run);
     parallel_for(
         ns,
         [&](std::size_t s0, std::size_t s1) {
           for (std::size_t s = s0; s < s1; ++s) {
-            if (!doses_moved && !ghosts_dirty(L, s, changed_prev)) {
-              outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false};
+            if (!will_run[s]) {
+              outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false, false, {}};
               continue;
             }
-            outcomes[s] =
-                run_shard(shots, psf, options, L, s, doses, nullptr, nullptr, false);
+            auto* slot = pooled && (pool[s] || grant[s]) ? &pool[s] : nullptr;
+            outcomes[s] = run_shard(shots, psf, options, L, s, doses, nullptr,
+                                    nullptr, false, shard_tol, false,
+                                    /*reset_all=*/self_dirty[s] != 0 || doses_moved,
+                                    slot, pooled);
           }
         },
         options.exposure.threads);
     double final_err = 0.0;
-    for (const ShardOutcome& o : outcomes)
-      final_err = std::max(final_err, o.entry_error);
+    for (std::size_t s = 0; s < ns; ++s) {
+      final_err = std::max(final_err, outcomes[s].entry_error);
+      result.blur.merge(outcomes[s].perf);
+    }
     result.final_max_error = final_err;
     result.max_error_history.push_back(final_err);
+    result.measure_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - measure_t0)
+                            .count();
   }
+  if (pooled) {
+    for (const auto& p : pool) result.resident_shards += p != nullptr;
+  }
+  result.shard_evictions = evictions;
   return result;
 }
 

@@ -161,6 +161,27 @@ TEST(Pipeline, RecordsStageTimes) {
   EXPECT_EQ(full.stage_times[2].name, "pec");
   EXPECT_EQ(full.stage_times[3].name, "field_partition");
   EXPECT_EQ(full.stage_times[4].name, "write_time");
+
+  // Sharded run: each halo-exchange round surfaces as its own pec_round_N
+  // sub-stage (in round order, just before the enclosing "pec" entry).
+  PrepOptions sharded = opt;
+  sharded.pec.shard_size = 20000;
+  const PrepResult sh = run_data_prep(s, sharded);
+  std::vector<std::string> rounds;
+  std::size_t pec_at = 0;
+  for (std::size_t i = 0; i < sh.stage_times.size(); ++i) {
+    if (sh.stage_times[i].name.rfind("pec_round_", 0) == 0) {
+      rounds.push_back(sh.stage_times[i].name);
+      EXPECT_GE(sh.stage_times[i].ms, 0.0);
+    }
+    if (sh.stage_times[i].name == "pec") pec_at = i;
+  }
+  ASSERT_GE(rounds.size(), 1u);
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    EXPECT_EQ(rounds[r], "pec_round_" + std::to_string(r + 1));
+  }
+  EXPECT_GT(pec_at, 0u);
+  EXPECT_EQ(sh.stage_times[pec_at].name, "pec");
 }
 
 TEST(Pipeline, ShardedPecSkipsGlobalBaseline) {

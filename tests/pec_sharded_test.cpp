@@ -168,6 +168,79 @@ TEST(ShardedPec, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(corrected[0][i].dose, corrected[1][i].dose) << "shot " << i;
 }
 
+TEST(ShardedPec, FftSnugShardSizeNeverShrinksTheDefault) {
+  const Psf psf = test_psf();
+  PecOptions opt;
+  const Coord snug = default_shard_size(psf, opt);
+  EXPECT_GE(snug, default_shard_size(psf));
+  // All-short PSF: no long-range map to pad, the plain default applies.
+  const Psf short_psf = Psf::double_gaussian(40.0, 150.0, 0.5);
+  EXPECT_EQ(default_shard_size(short_psf, opt), default_shard_size(short_psf));
+}
+
+TEST(ShardedPec, ResidentPoolBudgetNeverChangesTheResult) {
+  // Resident re-entry is an exact dose reset, so every budget — including
+  // one small enough to force evictions and transient re-runs — must produce
+  // bit-identical doses. (Budget 0, the fully transient pre-pool mode, is
+  // also bitwise for the solve; its final error may differ at float-cache
+  // precision because the measurement pass skips the splat cache there.)
+  const ShotList shots = dense_grid_shots(60000);
+  const Psf psf = test_psf();
+  std::vector<PecResult> results;
+  std::vector<int> budgets = {1, 2, 1000};
+  for (const int budget : budgets) {
+    PecOptions opt;
+    opt.shard_size = 30000;
+    opt.resident_shard_budget = budget;
+    results.push_back(correct_proximity(shots, psf, opt));
+  }
+  EXPECT_GE(results[0].shards, 4);
+  // The tiny budget had to run most shards transient.
+  EXPECT_LE(results[0].resident_shards, 1);
+  EXPECT_GE(results[2].resident_shards, results[0].resident_shards);
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    ASSERT_EQ(results[v].shots.size(), results[0].shots.size());
+    for (std::size_t i = 0; i < results[0].shots.size(); ++i) {
+      EXPECT_EQ(results[v].shots[i].dose, results[0].shots[i].dose)
+          << "budget " << budgets[v] << " shot " << i;
+    }
+    EXPECT_EQ(results[v].final_max_error, results[0].final_max_error)
+        << "budget " << budgets[v];
+  }
+  // The fully transient mode agrees bitwise in dose space too.
+  PecOptions transient;
+  transient.shard_size = 30000;
+  transient.resident_shard_budget = 0;
+  const PecResult t = correct_proximity(shots, psf, transient);
+  EXPECT_EQ(t.resident_shards, 0);
+  for (std::size_t i = 0; i < t.shots.size(); ++i) {
+    EXPECT_EQ(t.shots[i].dose, results[0].shots[i].dose) << "shot " << i;
+  }
+}
+
+TEST(ShardedPec, WarmStartOffStillMeetsTheToleranceContract) {
+  const ShotList shots = dense_grid_shots(60000);
+  const Psf psf = test_psf();
+  PecOptions opt;
+  opt.shard_size = 30000;
+  opt.density_warm_start = false;
+  const PecResult cold = correct_proximity(shots, psf, opt);
+  const ExposureEvaluator eval(cold.shots, psf);
+  double max_err = 0.0;
+  for (double e : eval.exposures_at_centroids())
+    max_err = std::max(max_err, std::abs(e / opt.target - 1.0));
+  EXPECT_LT(max_err, opt.tolerance + 1e-4);
+}
+
+TEST(ShardedPec, ReportsPerRoundTimings) {
+  const ShotList shots = dense_grid_shots(40000);
+  PecOptions opt;
+  opt.shard_size = 20000;
+  const PecResult r = correct_proximity(shots, test_psf(), opt);
+  ASSERT_EQ(static_cast<int>(r.round_ms.size()), r.rounds);
+  for (double ms : r.round_ms) EXPECT_GE(ms, 0.0);
+}
+
 TEST(ShardedPec, RespectsDoseClampAndQuantization) {
   const ShotList shots = dense_grid_shots(40000);
   PecOptions opt;
