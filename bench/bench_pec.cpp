@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "util/artifacts.h"
 #include "seed_pec_reference.h"
 
@@ -203,6 +205,15 @@ struct ShardedRow {
   int rounds = 0;
   double global_ms = 0.0;
   double sharded_ms = 0.0;
+  // Distributed section: the same sharded solve farmed over pec_worker
+  // processes (src/pec/wire.h jobs over pipes). Workers = 0 when the worker
+  // binary was not found next to this bench. The doses must be
+  // bitwise-identical to the in-process sharded solve — that flag is the
+  // acceptance gate, the speedup is what N processes buy at this host's
+  // core count (≈1x minus wire overhead on a single core).
+  int dist_workers = 0;
+  double dist_ms = -1.0;
+  bool dist_bitwise = false;
   double global_err = 0.0;       // global doses, global evaluator
   double sharded_err = 0.0;      // sharded doses, same global evaluator
   double max_rel_dose_delta = 0.0;
@@ -262,6 +273,23 @@ ShardedRow run_sharded(const Psf& psf, bool quick) {
   row.measure_ms = sharded.measure_ms;
   row.sharded_blur = sharded.blur;
   std::cerr << "sharded section: " << sharded.shards << "-shard solve done\n";
+
+  // Distributed: identical jobs, out-of-process workers.
+  if (::access(default_pec_worker_path().c_str(), X_OK) == 0) {
+    PecOptions dopt = sopt;
+    dopt.worker_count = 2;
+    t0 = std::chrono::steady_clock::now();
+    const PecResult dist = correct_proximity(shots, psf, dopt);
+    row.dist_ms = ms_since(t0);
+    row.dist_workers = dist.workers;
+    row.dist_bitwise = dist.shots.size() == sharded.shots.size();
+    for (std::size_t i = 0; row.dist_bitwise && i < shots.size(); ++i)
+      row.dist_bitwise = dist.shots[i].dose == sharded.shots[i].dose;
+    std::cerr << "sharded section: " << dist.workers << "-worker distributed solve "
+              << (row.dist_bitwise ? "bitwise-identical" : "DOSE MISMATCH") << "\n";
+  } else {
+    std::cerr << "sharded section: pec_worker not found, distributed run skipped\n";
+  }
 
   ExposureEvaluator eval(global.shots, psf, popt.exposure);
   for (double e : eval.exposures_at_centroids())
@@ -359,6 +387,12 @@ void write_bench_json(const std::vector<ScalingRow>& rows,
     out << (i ? ", " : "") << sharded.round_ms[i];
   }
   out << "], \"measure_ms\": " << sharded.measure_ms
+      << ",\n       \"distributed_workers\": " << sharded.dist_workers
+      << ", \"distributed_total_ms\": " << sharded.dist_ms
+      << ", \"distributed_vs_inprocess_speedup\": "
+      << (sharded.dist_ms > 0 ? sharded.sharded_ms / sharded.dist_ms : 0.0)
+      << ", \"distributed_bitwise_identical\": "
+      << (sharded.dist_bitwise ? "true" : "false")
       << ",\n       \"global_refresh_perf\": ";
   write_blur_perf(out, sharded.global_blur);
   out << ",\n       \"sharded_refresh_perf\": ";
@@ -407,6 +441,17 @@ int main(int argc, char** argv) {
          fixed(sharded.global_err, 4), fixed(sharded.sharded_err, 4),
          fixed(sharded.max_rel_dose_delta, 4));
   sh.print();
+
+  if (sharded.dist_workers > 0) {
+    Table ds("Distributed sharded PEC: pec_worker processes vs in-process");
+    ds.columns({"workers", "in-process ms", "distributed ms", "speedup",
+                "doses bitwise-identical"});
+    ds.row(sharded.dist_workers, fixed(sharded.sharded_ms, 1),
+           fixed(sharded.dist_ms, 1),
+           fixed(sharded.sharded_ms / sharded.dist_ms, 2) + "x",
+           sharded.dist_bitwise ? "yes" : "NO");
+    ds.print();
+  }
 
   write_bench_json(scaling, blur_rows, sharded, scaling_psf, blur_psf);
   std::cout << "wrote BENCH_pec.json\n";

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Bench-trajectory guard: compare a fresh BENCH_*.json against the committed
+baseline and fail on a large throughput regression.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.30]
+                              [--absolute]
+
+Design (what makes this noise-tolerant enough for CI):
+
+  * Cases are matched across the two files by their identity keys (shots,
+    shard_size_dbu, pixels_per_sigma, ...), found anywhere in the JSON tree.
+    A quick run produces smaller cases than the committed full-run baseline,
+    so typically only a subset matches — unmatched cases are reported and
+    skipped, never failed.
+  * By default only *dimensionless ratio* metrics are compared (any metric
+    whose name contains "speedup"). Those are measured same-host,
+    same-binary within one bench run, so they transfer between the committed
+    baseline's machine and the CI runner; absolute shots/sec or wall-clock
+    numbers do not, and comparing them across hosts would be pure noise.
+    --absolute additionally compares *_per_sec (higher is better) metrics —
+    useful locally on the machine the baseline was recorded on.
+  * A metric fails only when it drops by more than --tolerance (default 30%)
+    relative to the baseline. Improvements and small wobbles pass.
+
+Exit status: 0 = no regression (including "nothing comparable"), 1 = at
+least one metric regressed, 2 = bad invocation / unreadable input.
+
+CI wires this after the bench smoke steps and skips it when the PR carries
+the `skip-bench-guard` label (see .github/workflows/ci.yml).
+"""
+
+import argparse
+import json
+import sys
+
+# Keys that *identify* a case rather than measure it. Two dicts with equal
+# values for every identity key they share (and at least one such key) are
+# the same case in both files.
+IDENTITY_KEYS = (
+    "shots",
+    "iterations",
+    "field_size_dbu",
+    "shard_size_dbu",
+    "pixels_per_sigma",
+    "map_pixel_dbu",
+    "extent_dbu",
+    "distributed_workers",
+    "threads",
+)
+
+
+def collect_cases(node, path=""):
+    """Yields (section_path, identity_tuple, metrics_dict) for every dict in
+    the tree that carries at least one identity key."""
+    if isinstance(node, dict):
+        identity = tuple(
+            sorted((k, node[k]) for k in IDENTITY_KEYS if k in node and
+                   not isinstance(node[k], (dict, list)))
+        )
+        if identity:
+            metrics = {
+                k: v
+                for k, v in node.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+                and k not in IDENTITY_KEYS
+            }
+            yield (path, identity, metrics)
+        for key, value in node.items():
+            yield from collect_cases(value, f"{path}/{key}")
+    elif isinstance(node, list):
+        for item in node:
+            yield from collect_cases(item, path)
+
+
+def comparable_metrics(metrics, absolute):
+    """Higher-is-better metrics worth guarding. Ratio metrics (name contains
+    'speedup') always; absolute throughput only on request."""
+    names = [k for k in metrics if "speedup" in k]
+    if absolute:
+        names += [k for k in metrics if k.endswith("_per_sec")]
+    return names
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="maximum tolerated relative drop (default 0.30)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="also compare *_per_sec metrics (same-host runs only)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: cannot load input: {e}", file=sys.stderr)
+        return 2
+
+    base_cases = {(p, i): m for p, i, m in collect_cases(baseline)}
+    fresh_cases = list(collect_cases(fresh))
+    if not fresh_cases:
+        print(f"check_bench_regression: no cases found in {args.fresh}",
+              file=sys.stderr)
+        return 2
+
+    compared = 0
+    regressions = []
+    for path, identity, metrics in fresh_cases:
+        base = base_cases.get((path, identity))
+        ident = ", ".join(f"{k}={v}" for k, v in identity)
+        if base is None:
+            print(f"  [skip] {path} ({ident}): no matching baseline case")
+            continue
+        for name in comparable_metrics(metrics, args.absolute):
+            if name not in base or not isinstance(base[name], (int, float)):
+                continue
+            old, new = float(base[name]), float(metrics[name])
+            if old <= 0:
+                continue  # placeholder (e.g. skipped distributed section)
+            compared += 1
+            drop = 1.0 - new / old
+            status = "FAIL" if drop > args.tolerance else "ok"
+            print(f"  [{status}] {path} ({ident}) {name}: "
+                  f"{old:.3g} -> {new:.3g} ({-drop:+.1%})")
+            if drop > args.tolerance:
+                regressions.append((path, ident, name, old, new))
+
+    print(f"check_bench_regression: {compared} metric(s) compared, "
+          f"{len(regressions)} regression(s) beyond "
+          f"{args.tolerance:.0%} ({args.baseline} vs {args.fresh})")
+    if regressions:
+        print("Throughput regressed. If this change intentionally trades "
+              "speed (or the runner was just noisy), re-run or apply the "
+              "skip-bench-guard label.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
          result.pec_final_error = pec.final_max_error;
          result.pec_iterations = pec.iterations;
          result.pec_shards = pec.shards;
+         result.pec_workers = pec.workers;
          // Sharded solves report per-round wall clock; surface each round
          // (and the final measurement pass, when one ran) as its own stage
          // so the halo-exchange cost is visible in profiles. These land

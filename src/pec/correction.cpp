@@ -17,6 +17,11 @@ PecResult correct_proximity(const ShotList& shots, const Psf& psf,
 
   // shard_size > 0 selects the sharded pipeline: per-shard memory, shards
   // corrected concurrently, cross-shard coupling via halo-exchange rounds.
+  // worker_count > 0 implies sharding (the distributed entry fills in the
+  // default shard size) — silently running monolithic in-process despite a
+  // requested worker pool would be a footgun.
+  if (options.worker_count > 0)
+    return correct_proximity_distributed(shots, psf, options);
   if (options.shard_size > 0) return correct_proximity_sharded(shots, psf, options);
 
   // The corrector only ever samples shot centroids, so the long-range maps

@@ -91,6 +91,24 @@ struct PecOptions {
   /// shard run rebuilds its evaluator, the pre-pool behavior).
   int resident_shard_budget = 64;
 
+  /// When > 0, shard jobs of every halo-exchange round are farmed over this
+  /// many out-of-process workers (tools/pec_worker, spawned from
+  /// worker_path) instead of the in-process thread pool. Implies sharding:
+  /// with shard_size still 0, correct_proximity routes through
+  /// correct_proximity_distributed, which fills in default_shard_size. Jobs
+  /// and results cross in the versioned binary wire format (src/pec/wire.h,
+  /// bit-exact doses), shards stick to workers so the workers' resident
+  /// evaluator pools keep hitting, and results are bitwise-identical to the
+  /// in-process sharded solve — worker_count = 0 (the default) IS that
+  /// in-process engine, the oracle the distributed path is validated
+  /// against. More workers than shards is clamped to the shard count.
+  int worker_count = 0;
+
+  /// Worker binary for worker_count > 0. Empty (the default) resolves via
+  /// default_pec_worker_path(): $EBL_PEC_WORKER, else "pec_worker" next to
+  /// the current executable.
+  std::string worker_path;
+
   ExposureOptions exposure;
 };
 
@@ -113,6 +131,9 @@ struct PecResult {
   double measure_ms = -1.0;
   int resident_shards = 0;  ///< evaluators resident when the solve finished
   int shard_evictions = 0;  ///< resident evaluators dropped to fit the budget
+  /// Worker processes the distributed solve ran on (0 = in-process). The
+  /// resident/eviction counters above then aggregate the workers' own pools.
+  int workers = 0;
 
   /// Aggregated long-range refresh accounting across every evaluator the
   /// solve used (the one global evaluator, or all shard evaluators summed in

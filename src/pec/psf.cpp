@@ -33,6 +33,21 @@ Psf Psf::triple_gaussian(double alpha, double beta, double gamma, double eta,
   return Psf{{{w, alpha}, {eta * w, beta}, {nu * w, gamma}}};
 }
 
+Psf Psf::from_terms(std::vector<PsfTerm> terms) {
+  expects(!terms.empty(), "Psf: need at least one term");
+  // Bypass the normalizing constructor: the terms are the verbatim output of
+  // another Psf's terms() (see the header comment), and renormalizing would
+  // move each weight by an ulp when their sum is not exactly representable
+  // as 1.0.
+  Psf psf{{{1.0, 1.0}}};
+  for (const PsfTerm& t : terms) {
+    expects(t.sigma > 0, "Psf: sigma must be positive");
+    expects(t.weight > 0, "Psf: weight must be positive");
+  }
+  psf.terms_ = std::move(terms);
+  return psf;
+}
+
 double Psf::value(double r) const {
   double v = 0.0;
   for (const PsfTerm& t : terms_) {

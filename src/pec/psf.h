@@ -40,6 +40,15 @@ class Psf {
   static Psf triple_gaussian(double alpha, double beta, double gamma, double eta,
                              double nu);
 
+  /// Reconstructs a PSF from explicit, already-normalized terms WITHOUT
+  /// renormalizing them — the deserialization entry point of the shard-job
+  /// wire format (src/pec/wire.h), where re-dividing by a weight sum that is
+  /// not exactly 1.0 would perturb the weights by an ulp and break the
+  /// bitwise identity between a remote and an in-process shard solve.
+  /// Weights and sigmas must be positive; weights should sum to ~1 (as
+  /// terms() of any constructed Psf do).
+  static Psf from_terms(std::vector<PsfTerm> terms);
+
   std::span<const PsfTerm> terms() const { return terms_; }
 
   /// Density value at radius r (energy per unit area for unit dose).

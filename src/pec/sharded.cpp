@@ -1,23 +1,36 @@
 #include "pec/sharded.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <thread>
+
+#include <unistd.h>
 
 #include "geom/raster.h"
 #include "pec/exposure.h"
+#include "pec/wire.h"
 #include "util/contracts.h"
 #include "util/fft.h"
 #include "util/gridkeys.h"
 #include "util/parallel.h"
+#include "util/subprocess.h"
 
 namespace ebl {
 namespace {
 
 Coord64 div_floor(Coord64 a, Coord64 b) {
   return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
 }
 
 // Shard indices are relative to the pattern bbox corner — the packed-key /
@@ -162,120 +175,76 @@ constexpr double kOptimisticExitFactor = 20.0;
 // degenerate case must stay bitwise-identical to the monolithic solve.
 constexpr double kShardToleranceSlack = 0.5;
 
-// One shard's solve for one round. A fresh run builds the local evaluator
-// (owned shots active, ghosts background at their published doses); a
-// resident evaluator (pool != null with an existing instance) is refreshed
-// through the exact dose-reset paths instead — bit-identical state either
-// way, so residency and eviction never change results, only construction
-// cost. The Jacobi loop is the global corrector's, including the delta-mode
-// update schedule. Published doses are the evaluator's *applied* doses
-// (sub-threshold updates the evaluator deferred are not published), except
-// after an optimistic exit, which publishes the final unverified update and
-// flags itself for re-verification. With correct == false only the entry
-// error is measured (the verification pass).
+// The wire-format job for one shard of one round — the single description
+// both execution paths consume (in-process via solve_shard_job directly,
+// distributed via a pec_worker process that calls the same function).
+// Active and ghost lists carry the published doses of the round snapshot.
+wire::ShardJob make_job(const ShotList& shots, const Psf& psf,
+                        const PecOptions& options, const ShardLayout& L,
+                        std::size_t slot, const std::vector<double>& doses,
+                        bool correct, double tol, bool allow_optimistic,
+                        bool reset_all, bool pooled, std::uint64_t session_id) {
+  const std::uint32_t* active = L.active_items.data() + L.active_start[slot];
+  const std::size_t na = L.active_start[slot + 1] - L.active_start[slot];
+  const std::uint32_t* ghosts = L.ghost_items.data() + L.ghost_start[slot];
+  const std::size_t ng = L.ghost_start[slot + 1] - L.ghost_start[slot];
+
+  wire::ShardJob job;
+  job.session_id = session_id;
+  job.shard_key = slot;  // slots are dense and stable for the whole session
+  job.correct = correct;
+  job.allow_optimistic = allow_optimistic;
+  job.reset_all = reset_all;
+  job.pooled = pooled;
+  job.tolerance = tol;
+  job.psf_terms.assign(psf.terms().begin(), psf.terms().end());
+  job.options = options;
+  job.active.reserve(na);
+  for (std::size_t k = 0; k < na; ++k)
+    job.active.push_back(Shot{shots[active[k]].shape, doses[active[k]]});
+  job.ghosts.reserve(ng);
+  for (std::size_t k = 0; k < ng; ++k)
+    job.ghosts.push_back(Shot{shots[ghosts[k]].shape, doses[ghosts[k]]});
+  return job;
+}
+
+// Folds one shard's result into the round state. Each slot writes only its
+// own shots' doses/flags, so concurrent application over distinct slots is
+// deterministic.
+ShardOutcome apply_result(const ShardLayout& L, std::size_t slot,
+                          const wire::ShardResult& r, std::vector<double>* next,
+                          std::vector<std::uint8_t>* changed) {
+  const std::uint32_t* active = L.active_items.data() + L.active_start[slot];
+  const std::size_t na = L.active_start[slot + 1] - L.active_start[slot];
+  ensures(r.doses.size() == na && r.changed.size() == na,
+          "sharded: shard result size mismatch");
+  ShardOutcome out;
+  out.entry_error = r.entry_error;
+  out.exit_error = r.exit_error;
+  out.iterations = r.iterations;
+  out.updated = r.updated;
+  out.optimistic = r.optimistic;
+  out.perf = r.perf;
+  for (std::size_t k = 0; k < na; ++k) {
+    if (next) (*next)[active[k]] = r.doses[k];
+    if (changed && r.changed[k]) (*changed)[active[k]] = 1;
+  }
+  return out;
+}
+
+// One shard's solve for one round, executed in-process: job construction +
+// the shared solver + result application. Kept as a thin composition so the
+// in-process sweep and a remote worker run literally the same arithmetic.
 ShardOutcome run_shard(const ShotList& shots, const Psf& psf,
                        const PecOptions& options, const ShardLayout& L,
                        std::size_t slot, const std::vector<double>& doses,
                        std::vector<double>* next, std::vector<std::uint8_t>* changed,
                        bool correct, double tol, bool allow_optimistic, bool reset_all,
                        std::unique_ptr<ExposureEvaluator>* pool_slot, bool pooled) {
-  const std::uint32_t* active = L.active_items.data() + L.active_start[slot];
-  const std::size_t na = L.active_start[slot + 1] - L.active_start[slot];
-  const std::uint32_t* ghosts = L.ghost_items.data() + L.ghost_start[slot];
-  const std::size_t ng = L.ghost_start[slot + 1] - L.ghost_start[slot];
-
-  ExposureEvaluator* eval = nullptr;
-  std::unique_ptr<ExposureEvaluator> transient;
-  BlurPerf perf0;
-  if (pool_slot && *pool_slot) {
-    // Resident re-entry: reuse the geometry caches, reset the dose state
-    // exactly. Ghost doses always come in fresh; the shard's own doses are
-    // re-applied too when they are not known to match the evaluator
-    // (optimistic exit last round, or post-quantization measurement).
-    eval = pool_slot->get();
-    perf0 = eval->blur_perf();
-    if (reset_all) {
-      std::vector<double> all(na + ng);
-      for (std::size_t k = 0; k < na; ++k) all[k] = doses[active[k]];
-      for (std::size_t k = 0; k < ng; ++k) all[na + k] = doses[ghosts[k]];
-      eval->reset_doses(all);
-    } else {
-      std::vector<double> bg(ng);
-      for (std::size_t k = 0; k < ng; ++k) bg[k] = doses[ghosts[k]];
-      eval->set_background_doses(bg);
-    }
-  } else {
-    ShotList local;
-    local.reserve(na + ng);
-    for (std::size_t k = 0; k < na; ++k)
-      local.push_back(Shot{shots[active[k]].shape, doses[active[k]]});
-    for (std::size_t k = 0; k < ng; ++k)
-      local.push_back(Shot{shots[ghosts[k]].shape, doses[ghosts[k]]});
-    // Centroid queries never leave the shard bbox, so the local long-range
-    // map drops its off-pattern sampling margin — on small shards the dead
-    // border would otherwise rival the shard itself. Without the resident
-    // pool, measurement-only runs also skip the splat cache (one direct
-    // rasterization instead of a cache that would never be re-weighted);
-    // with it they keep the cache so a pooled and an unpooled measurement
-    // run the same arithmetic.
-    ExposureOptions eopt = options.exposure;
-    eopt.map_margin_sigmas = 0.0;
-    if (!correct && !pooled) eopt.splat_cache = false;
-    transient = std::make_unique<ExposureEvaluator>(std::move(local), na, psf, eopt);
-    eval = transient.get();
-    if (pool_slot) *pool_slot = std::move(transient);  // granted residency
-  }
-
-  std::vector<double> d(na);
-  for (std::size_t k = 0; k < na; ++k) d[k] = doses[active[k]];
-
-  const bool delta_mode = options.exposure.delta_threshold > 0;
-  ShardOutcome out;
-  for (int iter = 0;; ++iter) {
-    const std::vector<double> e = eval->exposures_at_centroids();
-    double max_err = 0.0;
-    for (double ei : e) max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
-    if (iter == 0) out.entry_error = max_err;
-    out.exit_error = max_err;
-    if (max_err < tol || !correct || iter >= options.max_iterations) break;
-    const double update_tol = jacobi_update_tolerance(delta_mode, tol, max_err);
-    for (std::size_t k = 0; k < na; ++k) {
-      d[k] = jacobi_updated_dose(d[k], e[k], update_tol, options);
-    }
-    out.iterations = iter + 1;
-    if (allow_optimistic && tol > 0 && max_err <= kOptimisticExitFactor * tol) {
-      out.optimistic = true;
-      break;
-    }
-    eval->set_active_doses(d);
-  }
-  // Exact per-shot change flags: a clamped dose can survive an update step
-  // unchanged, and only real changes should dirty the neighbors. Published
-  // doses are the evaluator's applied ones (see the function comment) so a
-  // resident evaluator re-entering through set_background_doses is exactly
-  // at the published state.
-  for (std::size_t k = 0; k < na; ++k) {
-    const double dk = out.optimistic ? d[k] : eval->shots()[k].dose;
-    const bool moved = dk != doses[active[k]];
-    out.updated |= moved;
-    if (next) (*next)[active[k]] = dk;
-    if (changed && moved) (*changed)[active[k]] = 1;
-  }
-  out.perf = perf_since(eval->blur_perf(), perf0);
-  return out;
-}
-
-// True when any *ghost* dose the shard sees carries a change flag from the
-// previous round. Own-dose changes never dirty a shard: only the shard
-// itself writes them, and its exit error was measured after its last write.
-// Clean shards skip the round — nothing they evaluate against moved, so the
-// stored error is still exact — which is what makes late exchange rounds
-// cost only the remaining boundary activity.
-bool ghosts_dirty(const ShardLayout& L, std::size_t slot,
-                  const std::vector<std::uint8_t>& flags) {
-  for (std::uint32_t k = L.ghost_start[slot]; k < L.ghost_start[slot + 1]; ++k)
-    if (flags[L.ghost_items[k]]) return true;
-  return false;
+  const wire::ShardJob job = make_job(shots, psf, options, L, slot, doses, correct,
+                                      tol, allow_optimistic, reset_all, pooled, 0);
+  const wire::ShardResult r = solve_shard_job(job, pool_slot);
+  return apply_result(L, slot, r, next, changed);
 }
 
 // Density-formula warm start: every shot's initial dose from the closed-form
@@ -326,7 +295,400 @@ void density_warm_start(const ShotList& shots, const Psf& psf,
       options.exposure.threads);
 }
 
+// One round sweep (or the final measurement pass) over the run set. The two
+// implementations must be result-equivalent; the in-process one is the
+// oracle the distributed one is pinned against (bitwise, see the tests).
+struct SweepCtx {
+  bool correct = true;
+  double tol = 0.0;
+  bool allow_optimistic = false;
+  bool force_reset = false;  ///< post-quantization measurement: reset every shard
+  int round = 0;             ///< recency stamp for the in-process pool
+  const std::vector<std::uint8_t>* will_run = nullptr;
+  const std::vector<std::uint8_t>* self_dirty = nullptr;
+  const std::vector<double>* doses = nullptr;
+  std::vector<double>* next = nullptr;            ///< null in measurement pass
+  std::vector<std::uint8_t>* changed = nullptr;   ///< null in measurement pass
+  std::vector<ShardOutcome>* outcomes = nullptr;  ///< ran slots only
+};
+
+class ShardRunner {
+ public:
+  virtual ~ShardRunner() = default;
+  virtual void sweep(const SweepCtx& ctx) = 0;
+  /// Fills the runner-specific PecResult fields (residency, evictions,
+  /// workers) and performs orderly teardown. Called once, on success.
+  virtual void finish(PecResult* result) = 0;
+};
+
+// The single-process execution path: shards of a sweep run concurrently on
+// the thread pool, sharing a driver-side resident evaluator pool.
+class InProcessRunner : public ShardRunner {
+ public:
+  InProcessRunner(const ShotList& shots, const Psf& psf, const PecOptions& options,
+                  const ShardLayout& L)
+      : shots_(shots), psf_(psf), options_(options), L_(L) {
+    pooled_ = options.resident_shard_budget > 0;
+    budget_ = pooled_ ? static_cast<std::size_t>(options.resident_shard_budget) : 0;
+    pool_.resize(pooled_ ? L.count : 0);
+    last_used_.assign(pooled_ ? L.count : 0, -1);
+    grant_.assign(L.count, 0);
+  }
+
+  void sweep(const SweepCtx& ctx) override {
+    const std::vector<std::uint8_t>& will_run = *ctx.will_run;
+    const std::vector<std::uint8_t>& self_dirty = *ctx.self_dirty;
+    plan_residency(will_run);
+    parallel_for(
+        L_.count,
+        [&](std::size_t s0, std::size_t s1) {
+          for (std::size_t s = s0; s < s1; ++s) {
+            if (!will_run[s]) continue;
+            auto* slot = pooled_ && (pool_[s] || grant_[s]) ? &pool_[s] : nullptr;
+            (*ctx.outcomes)[s] = run_shard(
+                shots_, psf_, options_, L_, s, *ctx.doses, ctx.next, ctx.changed,
+                ctx.correct, ctx.tol, ctx.allow_optimistic,
+                /*reset_all=*/self_dirty[s] != 0 || ctx.force_reset, slot, pooled_);
+          }
+        },
+        options_.exposure.threads);
+    // Correction rounds stamp recency for the LRU planner; the measurement
+    // pass does not (nothing re-enters after it).
+    if (ctx.correct && pooled_) {
+      for (std::size_t s = 0; s < L_.count; ++s) {
+        if (will_run[s] && pool_[s]) last_used_[s] = ctx.round;
+      }
+    }
+  }
+
+  void finish(PecResult* result) override {
+    if (pooled_) {
+      for (const auto& p : pool_) result->resident_shards += p != nullptr;
+    }
+    result->shard_evictions = evictions_;
+  }
+
+ private:
+  // Resident evaluator pool: one slot per shard, filled up to the budget.
+  // Grants and evictions are planned serially before each sweep from the
+  // sweep's deterministic run set, so the pool contents never depend on
+  // thread scheduling — and since resident re-entry is exact (see
+  // solve_shard_job), they could not change results even if they did.
+  void plan_residency(const std::vector<std::uint8_t>& will_run) {
+    if (!pooled_) return;
+    const std::size_t ns = L_.count;
+    std::fill(grant_.begin(), grant_.end(), 0);
+    std::size_t resident = 0;
+    for (std::size_t s = 0; s < ns; ++s) resident += pool_[s] != nullptr;
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (!will_run[s] || pool_[s]) continue;
+      if (resident < budget_) {
+        grant_[s] = 1;
+        ++resident;
+        continue;
+      }
+      // Evict the least-recently-run resident that is idle this round
+      // (ties: highest slot), then grant its place.
+      std::size_t victim = ns;
+      for (std::size_t v = 0; v < ns; ++v) {
+        if (!pool_[v] || will_run[v]) continue;
+        if (victim == ns || last_used_[v] < last_used_[victim] ||
+            (last_used_[v] == last_used_[victim] && v > victim)) {
+          victim = v;
+        }
+      }
+      if (victim == ns) break;  // every resident runs this round: rest transient
+      pool_[victim].reset();
+      ++evictions_;
+      grant_[s] = 1;
+    }
+  }
+
+  const ShotList& shots_;
+  const Psf& psf_;
+  const PecOptions& options_;
+  const ShardLayout& L_;
+  bool pooled_ = false;
+  std::size_t budget_ = 0;
+  std::vector<std::unique_ptr<ExposureEvaluator>> pool_;
+  std::vector<int> last_used_;
+  std::vector<std::uint8_t> grant_;
+  int evictions_ = 0;
+};
+
+// The multi-process execution path: a pool of pec_worker processes, shard
+// jobs framed over their stdin and results read back off their stdout
+// (src/pec/wire.h). Shards stick to workers (slot mod W) so each worker's
+// resident evaluator pool keeps hitting across halo-exchange rounds — the
+// set_background_doses refresh protocol, spoken over the wire. Each busy
+// worker gets one writer and one reader thread per sweep, so results stream
+// back while later jobs are still being serialized and no pipe buffer can
+// deadlock. Results land in per-slot cells: bitwise-deterministic
+// regardless of process scheduling.
+class DistributedRunner : public ShardRunner {
+ public:
+  DistributedRunner(const ShotList& shots, const Psf& psf, const PecOptions& options,
+                    const ShardLayout& L)
+      : shots_(shots), psf_(psf), options_(options), L_(L) {
+    workers_n_ = std::max(1, std::min<int>(options.worker_count,
+                                           static_cast<int>(L.count)));
+    std::string path =
+        options.worker_path.empty() ? default_pec_worker_path() : options.worker_path;
+    if (::access(path.c_str(), X_OK) != 0)
+      throw DataError("sharded PEC: pec_worker binary not executable: " + path);
+
+    // One driver process + N workers share the machine: each worker gets an
+    // equal slice of the resolved thread budget (>= 1). Thread count never
+    // changes results, only scheduling.
+    wopt_ = options;
+    wopt_.exposure.threads =
+        std::max(1, resolve_threads(options.exposure.threads) / workers_n_);
+
+    // Session tag: workers drop stale resident evaluators if a long-lived
+    // worker ever sees jobs from two solves (not the case for this driver,
+    // which owns its pool, but the protocol does not rely on that).
+    static std::atomic<std::uint64_t> counter{0};
+    session_ = (static_cast<std::uint64_t>(::getpid()) << 32) | ++counter;
+
+    pool_ = std::make_unique<ProcessPool>(std::vector<std::string>{path},
+                                          workers_n_);
+    worker_resident_.assign(static_cast<std::size_t>(workers_n_), 0);
+    worker_evictions_.assign(static_cast<std::size_t>(workers_n_), 0);
+  }
+
+  ~DistributedRunner() override {
+    // Error-path teardown; finish() already cleared the pool on success.
+    if (pool_) pool_->terminate_all();
+  }
+
+  void sweep(const SweepCtx& ctx) override {
+    const std::vector<std::uint8_t>& will_run = *ctx.will_run;
+    const std::vector<std::uint8_t>& self_dirty = *ctx.self_dirty;
+    // Sticky deterministic assignment: shard slot -> worker slot % W.
+    std::vector<std::vector<std::size_t>> batch(
+        static_cast<std::size_t>(workers_n_));
+    for (std::size_t s = 0; s < L_.count; ++s) {
+      if (will_run[s]) batch[s % static_cast<std::size_t>(workers_n_)].push_back(s);
+    }
+
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(2 * static_cast<std::size_t>(workers_n_));
+    for (int w = 0; w < workers_n_; ++w) {
+      const std::vector<std::size_t>& slots = batch[static_cast<std::size_t>(w)];
+      if (slots.empty()) continue;
+      Subprocess& proc = pool_->worker(static_cast<std::size_t>(w));
+      // Writer: serialize and send this worker's jobs in slot order.
+      threads.emplace_back([&, w] {
+        try {
+          for (const std::size_t s : slots) {
+            const wire::ShardJob job = make_job(
+                shots_, psf_, wopt_, L_, s, *ctx.doses, ctx.correct, ctx.tol,
+                ctx.allow_optimistic,
+                /*reset_all=*/self_dirty[s] != 0 || ctx.force_reset,
+                wopt_.resident_shard_budget > 0, session_);
+            wire::write_frame(proc.stdin_fd(), wire::MsgType::kShardJob,
+                              wire::encode(job));
+          }
+        } catch (...) {
+          errors[2 * static_cast<std::size_t>(w)] = std::current_exception();
+          // Unblock the paired reader: EOF on stdin makes the worker exit,
+          // which EOFs its stdout. Without this a writer failure whose
+          // worker is still alive would leave the reader waiting forever
+          // for results of jobs that were never sent.
+          proc.close_stdin();
+        }
+      });
+      // Reader: results come back in job order; apply each into its own
+      // slot's cells (disjoint across workers, so no synchronization).
+      threads.emplace_back([&, w] {
+        try {
+          for (const std::size_t s : slots) {
+            wire::Frame frame;
+            if (!wire::read_frame(proc.stdout_fd(), &frame))
+              throw DataError("sharded PEC: worker exited mid-round");
+            if (frame.type != wire::MsgType::kShardResult)
+              throw DataError("sharded PEC: expected a shard result frame");
+            const wire::ShardResult r = wire::decode_shard_result(frame.payload);
+            if (r.shard_key != s)
+              throw DataError("sharded PEC: result for the wrong shard");
+            (*ctx.outcomes)[s] = apply_result(L_, s, r, ctx.next, ctx.changed);
+            worker_resident_[static_cast<std::size_t>(w)] = r.pool_resident;
+            worker_evictions_[static_cast<std::size_t>(w)] = r.pool_evictions;
+          }
+        } catch (...) {
+          errors[2 * static_cast<std::size_t>(w) + 1] = std::current_exception();
+          // Mirrored unblock: with the reader gone, a worker blocked on a
+          // full stdout pipe stops draining stdin and the paired writer
+          // would block forever. Killing the worker surfaces EPIPE there.
+          proc.terminate();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) {
+        pool_->terminate_all();
+        std::rethrow_exception(e);
+      }
+    }
+  }
+
+  void finish(PecResult* result) override {
+    result->workers = workers_n_;
+    for (const std::uint32_t r : worker_resident_)
+      result->resident_shards += static_cast<int>(r);
+    for (const std::uint32_t e : worker_evictions_)
+      result->shard_evictions += static_cast<int>(e);
+    // Orderly shutdown: EOF on stdin, workers exit 0. Anything else means a
+    // worker failed after its last result — surface it, the solve cannot be
+    // trusted to have been healthy.
+    const std::vector<int> statuses = pool_->shutdown();
+    pool_.reset();
+    for (const int status : statuses) {
+      if (status != 0)
+        throw DataError("sharded PEC: worker exited with status " +
+                        std::to_string(status));
+    }
+  }
+
+ private:
+  const ShotList& shots_;
+  const Psf& psf_;
+  const PecOptions& options_;
+  const ShardLayout& L_;
+  PecOptions wopt_;  ///< options as sent to workers (per-worker threads)
+  int workers_n_ = 0;
+  std::uint64_t session_ = 0;
+  std::unique_ptr<ProcessPool> pool_;
+  std::vector<std::uint32_t> worker_resident_;
+  std::vector<std::uint32_t> worker_evictions_;
+};
+
+// True when any *ghost* dose the shard sees carries a change flag from the
+// previous round. Own-dose changes never dirty a shard: only the shard
+// itself writes them, and its exit error was measured after its last write.
+// Clean shards skip the round — nothing they evaluate against moved, so the
+// stored error is still exact — which is what makes late exchange rounds
+// cost only the remaining boundary activity.
+bool ghosts_dirty(const ShardLayout& L, std::size_t slot,
+                  const std::vector<std::uint8_t>& flags) {
+  for (std::uint32_t k = L.ghost_start[slot]; k < L.ghost_start[slot + 1]; ++k)
+    if (flags[L.ghost_items[k]]) return true;
+  return false;
+}
+
 }  // namespace
+
+wire::ShardResult solve_shard_job(const wire::ShardJob& job,
+                                  std::unique_ptr<ExposureEvaluator>* pool_slot) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Psf psf = Psf::from_terms(job.psf_terms);
+  const PecOptions& options = job.options;
+  const std::size_t na = job.active.size();
+  const std::size_t ng = job.ghosts.size();
+  expects(na > 0, "solve_shard_job: shard without active shots");
+
+  ExposureEvaluator* eval = nullptr;
+  std::unique_ptr<ExposureEvaluator> transient;
+  BlurPerf perf0;
+  if (pool_slot && *pool_slot) {
+    // Resident re-entry: reuse the geometry caches, reset the dose state
+    // exactly. Ghost doses always come in fresh; the shard's own doses are
+    // re-applied too when they are not known to match the evaluator
+    // (optimistic exit last round, or post-quantization measurement).
+    eval = pool_slot->get();
+    perf0 = eval->blur_perf();
+    if (job.reset_all) {
+      std::vector<double> all(na + ng);
+      for (std::size_t k = 0; k < na; ++k) all[k] = job.active[k].dose;
+      for (std::size_t k = 0; k < ng; ++k) all[na + k] = job.ghosts[k].dose;
+      eval->reset_doses(all);
+    } else {
+      std::vector<double> bg(ng);
+      for (std::size_t k = 0; k < ng; ++k) bg[k] = job.ghosts[k].dose;
+      eval->set_background_doses(bg);
+    }
+  } else {
+    ShotList local;
+    local.reserve(na + ng);
+    local.insert(local.end(), job.active.begin(), job.active.end());
+    local.insert(local.end(), job.ghosts.begin(), job.ghosts.end());
+    // Centroid queries never leave the shard bbox, so the local long-range
+    // map drops its off-pattern sampling margin — on small shards the dead
+    // border would otherwise rival the shard itself. Without the resident
+    // pool, measurement-only runs also skip the splat cache (one direct
+    // rasterization instead of a cache that would never be re-weighted);
+    // with it they keep the cache so a pooled and an unpooled measurement
+    // run the same arithmetic.
+    ExposureOptions eopt = options.exposure;
+    eopt.map_margin_sigmas = 0.0;
+    if (!job.correct && !job.pooled) eopt.splat_cache = false;
+    transient = std::make_unique<ExposureEvaluator>(std::move(local), na, psf, eopt);
+    eval = transient.get();
+    if (pool_slot) *pool_slot = std::move(transient);  // granted residency
+  }
+
+  std::vector<double> d(na);
+  for (std::size_t k = 0; k < na; ++k) d[k] = job.active[k].dose;
+
+  const bool delta_mode = options.exposure.delta_threshold > 0;
+  wire::ShardResult out;
+  out.shard_key = job.shard_key;
+  for (int iter = 0;; ++iter) {
+    const std::vector<double> e = eval->exposures_at_centroids();
+    double max_err = 0.0;
+    for (double ei : e) max_err = std::max(max_err, std::abs(ei / options.target - 1.0));
+    if (iter == 0) out.entry_error = max_err;
+    out.exit_error = max_err;
+    if (max_err < job.tolerance || !job.correct || iter >= options.max_iterations)
+      break;
+    const double update_tol =
+        jacobi_update_tolerance(delta_mode, job.tolerance, max_err);
+    for (std::size_t k = 0; k < na; ++k) {
+      d[k] = jacobi_updated_dose(d[k], e[k], update_tol, options);
+    }
+    out.iterations = iter + 1;
+    if (job.allow_optimistic && job.tolerance > 0 &&
+        max_err <= kOptimisticExitFactor * job.tolerance) {
+      out.optimistic = true;
+      break;
+    }
+    eval->set_active_doses(d);
+  }
+  // Exact per-shot change flags: a clamped dose can survive an update step
+  // unchanged, and only real changes should dirty the neighbors. Published
+  // doses are the evaluator's applied ones (see the function comment) so a
+  // resident evaluator re-entering through set_background_doses is exactly
+  // at the published state.
+  out.doses.resize(na);
+  out.changed.assign(na, 0);
+  for (std::size_t k = 0; k < na; ++k) {
+    const double dk = out.optimistic ? d[k] : eval->shots()[k].dose;
+    out.doses[k] = dk;
+    if (dk != job.active[k].dose) {
+      out.updated = true;
+      out.changed[k] = 1;
+    }
+  }
+  out.perf = perf_since(eval->blur_perf(), perf0);
+  out.solve_ms = ms_since(t0);
+  return out;
+}
+
+std::string default_pec_worker_path() {
+  if (const char* env = std::getenv("EBL_PEC_WORKER"); env && env[0] != '\0')
+    return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    const std::string self(buf);
+    const std::size_t slash = self.rfind('/');
+    if (slash != std::string::npos)
+      return self.substr(0, slash + 1) + "pec_worker";
+  }
+  return "pec_worker";  // fall back to PATH resolution
+}
 
 Coord default_shard_size(const Psf& psf) {
   return std::max<Coord>(1, static_cast<Coord>(64.0 * psf.max_sigma()));
@@ -396,55 +758,24 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
   PecResult result;
   result.shards = static_cast<int>(ns);
 
-  // Resident evaluator pool: one slot per shard, filled up to the budget.
-  // Grants and evictions are planned serially before each round from the
-  // round's deterministic run set, so the pool contents never depend on
-  // thread scheduling — and since resident re-entry is exact (see
-  // run_shard), they could not change results even if they did.
-  const bool pooled = options.resident_shard_budget > 0;
-  const std::size_t budget =
-      pooled ? static_cast<std::size_t>(options.resident_shard_budget) : 0;
-  std::vector<std::unique_ptr<ExposureEvaluator>> pool(pooled ? ns : 0);
-  std::vector<int> last_used(pooled ? ns : 0, -1);
-  std::vector<std::uint8_t> grant(ns, 0);
-  int evictions = 0;
-  auto plan_residency = [&](const std::vector<std::uint8_t>& will_run) {
-    if (!pooled) return;
-    std::fill(grant.begin(), grant.end(), 0);
-    std::size_t resident = 0;
-    for (std::size_t s = 0; s < ns; ++s) resident += pool[s] != nullptr;
-    for (std::size_t s = 0; s < ns; ++s) {
-      if (!will_run[s] || pool[s]) continue;
-      if (resident < budget) {
-        grant[s] = 1;
-        ++resident;
-        continue;
-      }
-      // Evict the least-recently-run resident that is idle this round
-      // (ties: highest slot), then grant its place.
-      std::size_t victim = ns;
-      for (std::size_t v = 0; v < ns; ++v) {
-        if (!pool[v] || will_run[v]) continue;
-        if (victim == ns || last_used[v] < last_used[victim] ||
-            (last_used[v] == last_used[victim] && v > victim)) {
-          victim = v;
-        }
-      }
-      if (victim == ns) break;  // every resident runs this round: rest transient
-      pool[victim].reset();
-      ++evictions;
-      grant[s] = 1;
-    }
-  };
+  // Execution backend: the thread pool, or (worker_count > 0) a pool of
+  // pec_worker processes speaking the wire format. Both run solve_shard_job
+  // on identical jobs, so the choice cannot change a bit of the result.
+  std::unique_ptr<ShardRunner> runner;
+  if (options.worker_count > 0) {
+    runner = std::make_unique<DistributedRunner>(shots, psf, options, L);
+  } else {
+    runner = std::make_unique<InProcessRunner>(shots, psf, options, L);
+  }
 
   // Correction rounds: every shard solves against the round-start snapshot
   // (Jacobi across shards, so the outcome is independent of execution
   // order), then the snapshot advances. Each outcome lands in its own slot,
-  // so the parallel sweep is deterministic for any thread count. Rounds
-  // after the first are lazy: a shard re-runs only if one of its ghost
-  // doses changed in the previous round (see ghosts_dirty) or its own last
-  // update went unverified (optimistic exit), so late rounds cost what the
-  // remaining boundary activity costs, not a full re-solve.
+  // so the concurrent sweep is deterministic for any thread or worker
+  // count. Rounds after the first are lazy: a shard re-runs only if one of
+  // its ghost doses changed in the previous round (see ghosts_dirty) or its
+  // own last update went unverified (optimistic exit), so late rounds cost
+  // what the remaining boundary activity costs, not a full re-solve.
   std::vector<ShardOutcome> outcomes(ns);
   std::vector<double> exit_err(ns, 0.0);
   std::vector<std::uint8_t> changed_prev(shots.size(), 1);
@@ -463,27 +794,23 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
     for (std::size_t s = 0; s < ns; ++s) {
       will_run[s] =
           round == 0 || self_dirty[s] || ghosts_dirty(L, s, changed_prev);
+      if (!will_run[s])
+        outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false, false, {}};
     }
-    plan_residency(will_run);
+    SweepCtx ctx;
+    ctx.correct = true;
+    ctx.tol = shard_tol;
     // Optimistic exits are only worth taking while a later round (or the
     // measurement pass) is there to verify them.
-    const bool allow_optimistic = ns > 1;
-    parallel_for(
-        ns,
-        [&](std::size_t s0, std::size_t s1) {
-          for (std::size_t s = s0; s < s1; ++s) {
-            if (!will_run[s]) {
-              outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false, false, {}};
-              continue;
-            }
-            auto* slot = pooled && (pool[s] || grant[s]) ? &pool[s] : nullptr;
-            outcomes[s] = run_shard(shots, psf, options, L, s, doses, &next,
-                                    &changed_cur, true, shard_tol, allow_optimistic,
-                                    /*reset_all=*/self_dirty[s] != 0, slot, pooled);
-            exit_err[s] = outcomes[s].exit_error;
-          }
-        },
-        options.exposure.threads);
+    ctx.allow_optimistic = ns > 1;
+    ctx.round = round;
+    ctx.will_run = &will_run;
+    ctx.self_dirty = &self_dirty;
+    ctx.doses = &doses;
+    ctx.next = &next;
+    ctx.changed = &changed_cur;
+    ctx.outcomes = &outcomes;
+    runner->sweep(ctx);
     std::swap(doses, next);  // publish: halos see fresh doses next round
     std::swap(changed_prev, changed_cur);
     result.rounds = round + 1;
@@ -497,17 +824,14 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
       round_iters = std::max(round_iters, o.iterations);
       any_update |= o.updated;
       if (will_run[s]) {
+        exit_err[s] = o.exit_error;
         self_dirty[s] = o.optimistic ? 1 : 0;
-        if (pooled && pool[s]) last_used[s] = round;
       }
       result.blur.merge(o.perf);
     }
     result.max_error_history.push_back(round_err);
     total_iterations += round_iters;
-    result.round_ms.push_back(
-        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                  round_t0)
-            .count());
+    result.round_ms.push_back(ms_since(round_t0));
     if (!any_update) {
       // Every shard met tolerance against its neighbors' published doses
       // without moving: cross-shard convergence is certified.
@@ -541,24 +865,22 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
     const auto measure_t0 = std::chrono::steady_clock::now();
     for (std::size_t s = 0; s < ns; ++s) {
       will_run[s] = doses_moved || self_dirty[s] || ghosts_dirty(L, s, changed_prev);
+      if (!will_run[s])
+        outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false, false, {}};
     }
-    plan_residency(will_run);
-    parallel_for(
-        ns,
-        [&](std::size_t s0, std::size_t s1) {
-          for (std::size_t s = s0; s < s1; ++s) {
-            if (!will_run[s]) {
-              outcomes[s] = ShardOutcome{exit_err[s], exit_err[s], 0, false, false, {}};
-              continue;
-            }
-            auto* slot = pooled && (pool[s] || grant[s]) ? &pool[s] : nullptr;
-            outcomes[s] = run_shard(shots, psf, options, L, s, doses, nullptr,
-                                    nullptr, false, shard_tol, false,
-                                    /*reset_all=*/self_dirty[s] != 0 || doses_moved,
-                                    slot, pooled);
-          }
-        },
-        options.exposure.threads);
+    SweepCtx ctx;
+    ctx.correct = false;
+    ctx.tol = shard_tol;
+    ctx.allow_optimistic = false;
+    ctx.force_reset = doses_moved;
+    ctx.round = result.rounds;
+    ctx.will_run = &will_run;
+    ctx.self_dirty = &self_dirty;
+    ctx.doses = &doses;
+    ctx.next = nullptr;
+    ctx.changed = nullptr;
+    ctx.outcomes = &outcomes;
+    runner->sweep(ctx);
     double final_err = 0.0;
     for (std::size_t s = 0; s < ns; ++s) {
       final_err = std::max(final_err, outcomes[s].entry_error);
@@ -566,15 +888,19 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
     }
     result.final_max_error = final_err;
     result.max_error_history.push_back(final_err);
-    result.measure_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - measure_t0)
-                            .count();
+    result.measure_ms = ms_since(measure_t0);
   }
-  if (pooled) {
-    for (const auto& p : pool) result.resident_shards += p != nullptr;
-  }
-  result.shard_evictions = evictions;
+  runner->finish(&result);
   return result;
+}
+
+PecResult correct_proximity_distributed(const ShotList& shots, const Psf& psf,
+                                        const PecOptions& options) {
+  expects(options.worker_count > 0,
+          "correct_proximity_distributed: worker_count must be > 0");
+  PecOptions opt = options;
+  if (opt.shard_size == 0) opt.shard_size = default_shard_size(psf, opt);
+  return correct_proximity_sharded(shots, psf, opt);
 }
 
 }  // namespace ebl

@@ -30,11 +30,29 @@
 // loop stops early. Results are bit-identical for any thread count: each
 // shard writes only its own shots' doses, and all shards of a round read the
 // same published snapshot.
+// Out-of-process execution (PecOptions::worker_count > 0): shard solves are
+// identical, self-contained jobs, so the driver can farm each round's run
+// set over a pool of worker *processes* instead of pool threads. Jobs and
+// results cross process boundaries in the versioned binary wire format of
+// src/pec/wire.h (bit-exact doses), workers (tools/pec_worker.cpp) keep
+// their own resident evaluator pools and re-enter shards through the exact
+// set_background_doses / reset_doses refresh protocol, and the driver
+// certifies convergence exactly as in-process — so the distributed solve is
+// bitwise-identical to the single-process sharded solve, and worker_count
+// = 0 keeps today's in-process engine as the oracle.
 #pragma once
+
+#include <memory>
 
 #include "pec/correction.h"
 
 namespace ebl {
+
+class ExposureEvaluator;
+namespace wire {
+struct ShardJob;
+struct ShardResult;
+}  // namespace wire
 
 /// A good shard side for a PSF: 64x the widest sigma. Large enough that the
 /// halo (4 sigma on each side) stays a modest fraction of the shard, small
@@ -60,5 +78,33 @@ Coord default_shard_size(const Psf& psf, const PecOptions& options);
 /// up to the halo truncation (< 1e-6 of a term weight at halo_factor = 4).
 PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
                                     const PecOptions& options);
+
+/// Multi-process sharded correction: requires options.worker_count > 0 and
+/// fills in default_shard_size when shard_size is 0. Spawns the worker pool,
+/// farms each halo-exchange round's shard jobs over it, and produces doses
+/// bitwise-identical to the in-process sharded solve at the same shard
+/// layout. correct_proximity_sharded forwards here implicitly whenever
+/// worker_count > 0.
+PecResult correct_proximity_distributed(const ShotList& shots, const Psf& psf,
+                                        const PecOptions& options);
+
+/// One shard solve from its wire-format job description — THE per-shard
+/// solver: the in-process round sweep, the distributed driver (via a
+/// worker), and tools/pec_worker.cpp all execute shard work through this
+/// single function, which is what makes remote execution bitwise-identical
+/// to in-process execution by construction.
+///
+/// @p pool_slot: null for a transient solve. Non-null with an evaluator
+/// inside = resident re-entry — the evaluator must hold this shard's
+/// geometry, and is refreshed through reset_doses (job.reset_all) or
+/// set_background_doses, both exact. Non-null and empty = residency grant:
+/// the freshly built evaluator is parked there for the next entry.
+wire::ShardResult solve_shard_job(const wire::ShardJob& job,
+                                  std::unique_ptr<ExposureEvaluator>* pool_slot);
+
+/// The pec_worker binary the distributed driver spawns when
+/// PecOptions::worker_path is empty: $EBL_PEC_WORKER when set, else
+/// "pec_worker" next to the current executable (where the build puts it).
+std::string default_pec_worker_path();
 
 }  // namespace ebl

@@ -1,0 +1,345 @@
+#include "pec/wire.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "util/contracts.h"
+#include "util/subprocess.h"
+
+namespace ebl::wire {
+namespace {
+
+// All wire values are little-endian; on a big-endian host every load and
+// store byte-swaps. (The tag in the frame header still catches streams from
+// writers that did not follow the convention.)
+template <typename T>
+T to_wire_order(T v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    T out;
+    auto* src = reinterpret_cast<const unsigned char*>(&v);
+    auto* dst = reinterpret_cast<unsigned char*>(&out);
+    for (std::size_t i = 0; i < sizeof(T); ++i) dst[i] = src[sizeof(T) - 1 - i];
+    return out;
+  }
+  return v;
+}
+
+struct Writer {
+  std::string buf;
+
+  void u8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(to_wire_order(v)); }
+  void u64(std::uint64_t v) { raw(to_wire_order(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Bit-exact: the IEEE-754 pattern crosses as an integer.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  template <typename T>
+  void raw(T v) {
+    char bytes[sizeof(T)];
+    std::memcpy(bytes, &v, sizeof(T));
+    buf.append(bytes, sizeof(T));
+  }
+};
+
+struct Reader {
+  const char* p;
+  const char* end;
+
+  explicit Reader(std::string_view s) : p(s.data()), end(s.data() + s.size()) {}
+
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end - p) < n)
+      throw DataError("wire: truncated payload");
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(*p++);
+  }
+  std::uint32_t u32() { return to_wire_order(raw<std::uint32_t>()); }
+  std::uint64_t u64() { return to_wire_order(raw<std::uint64_t>()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) throw DataError("wire: malformed boolean");
+    return v != 0;
+  }
+
+  /// An element count about to drive a resize: bounded by the bytes that
+  /// could possibly back it, so a corrupted count cannot trigger a huge
+  /// allocation before the truncation check fires.
+  std::size_t count(std::size_t min_elem_size) {
+    const std::uint64_t n = u64();
+    if (n > static_cast<std::size_t>(end - p) / min_elem_size)
+      throw DataError("wire: element count exceeds payload");
+    return static_cast<std::size_t>(n);
+  }
+
+  void finish() const {
+    if (p != end) throw DataError("wire: trailing bytes after payload");
+  }
+
+  template <typename T>
+  T raw() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+  }
+};
+
+// --- field-group codecs (kept in one place so job and result stay in
+// lock-step with their decoders; any layout change bumps kVersion) ---
+
+void put_options(Writer& w, const PecOptions& o) {
+  w.i32(o.max_iterations);
+  w.f64(o.tolerance);
+  w.f64(o.target);
+  w.f64(o.damping);
+  w.f64(o.min_dose);
+  w.f64(o.max_dose);
+  w.i32(o.dose_classes);
+  w.i32(o.shard_size);
+  w.f64(o.halo_factor);
+  w.i32(o.exchange_rounds);
+  w.u8(o.density_warm_start ? 1 : 0);
+  w.i32(o.resident_shard_budget);
+  w.i32(o.worker_count);
+  const ExposureOptions& e = o.exposure;
+  w.f64(e.long_range_threshold);
+  w.f64(e.pixels_per_sigma);
+  w.f64(e.cutoff_sigmas);
+  w.f64(e.map_margin_sigmas);
+  w.i32(e.threads);
+  w.u8(e.splat_cache ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(e.blur_backend));
+  w.f64(e.delta_threshold);
+  w.u8(e.fast_erf ? 1 : 0);
+}
+
+PecOptions get_options(Reader& r) {
+  PecOptions o;
+  o.max_iterations = r.i32();
+  o.tolerance = r.f64();
+  o.target = r.f64();
+  o.damping = r.f64();
+  o.min_dose = r.f64();
+  o.max_dose = r.f64();
+  o.dose_classes = r.i32();
+  o.shard_size = r.i32();
+  o.halo_factor = r.f64();
+  o.exchange_rounds = r.i32();
+  o.density_warm_start = r.boolean();
+  o.resident_shard_budget = r.i32();
+  o.worker_count = r.i32();
+  ExposureOptions& e = o.exposure;
+  e.long_range_threshold = r.f64();
+  e.pixels_per_sigma = r.f64();
+  e.cutoff_sigmas = r.f64();
+  e.map_margin_sigmas = r.f64();
+  e.threads = r.i32();
+  e.splat_cache = r.boolean();
+  const std::uint8_t backend = r.u8();
+  if (backend > static_cast<std::uint8_t>(BlurBackend::kFft))
+    throw DataError("wire: unknown blur backend");
+  e.blur_backend = static_cast<BlurBackend>(backend);
+  e.delta_threshold = r.f64();
+  e.fast_erf = r.boolean();
+  return o;
+}
+
+void put_shots(Writer& w, const ShotList& shots) {
+  w.u64(shots.size());
+  for (const Shot& s : shots) {
+    w.i32(s.shape.y0);
+    w.i32(s.shape.y1);
+    w.i32(s.shape.xl0);
+    w.i32(s.shape.xr0);
+    w.i32(s.shape.xl1);
+    w.i32(s.shape.xr1);
+    w.f64(s.dose);
+  }
+}
+
+ShotList get_shots(Reader& r) {
+  constexpr std::size_t kShotBytes = 6 * 4 + 8;
+  const std::size_t n = r.count(kShotBytes);
+  ShotList shots(n);
+  for (Shot& s : shots) {
+    s.shape.y0 = r.i32();
+    s.shape.y1 = r.i32();
+    s.shape.xl0 = r.i32();
+    s.shape.xr0 = r.i32();
+    s.shape.xl1 = r.i32();
+    s.shape.xr1 = r.i32();
+    s.dose = r.f64();
+  }
+  return shots;
+}
+
+void put_perf(Writer& w, const BlurPerf& p) {
+  w.f64(p.accumulate_ms);
+  w.f64(p.blur_ms);
+  w.i32(p.refreshes);
+  w.f64(p.delta_accumulate_ms);
+  w.i32(p.delta_refreshes);
+  w.i32(p.skipped_refreshes);
+  w.i64(p.shots_updated);
+}
+
+BlurPerf get_perf(Reader& r) {
+  BlurPerf p;
+  p.accumulate_ms = r.f64();
+  p.blur_ms = r.f64();
+  p.refreshes = r.i32();
+  p.delta_accumulate_ms = r.f64();
+  p.delta_refreshes = r.i32();
+  p.skipped_refreshes = r.i32();
+  p.shots_updated = r.i64();
+  return p;
+}
+
+}  // namespace
+
+std::string encode(const ShardJob& job) {
+  Writer w;
+  w.u64(job.session_id);
+  w.u64(job.shard_key);
+  w.u8(job.correct ? 1 : 0);
+  w.u8(job.allow_optimistic ? 1 : 0);
+  w.u8(job.reset_all ? 1 : 0);
+  w.u8(job.pooled ? 1 : 0);
+  w.f64(job.tolerance);
+  w.u32(static_cast<std::uint32_t>(job.psf_terms.size()));
+  for (const PsfTerm& t : job.psf_terms) {
+    w.f64(t.weight);
+    w.f64(t.sigma);
+  }
+  put_options(w, job.options);
+  put_shots(w, job.active);
+  put_shots(w, job.ghosts);
+  return std::move(w.buf);
+}
+
+ShardJob decode_shard_job(std::string_view payload) {
+  Reader r(payload);
+  ShardJob job;
+  job.session_id = r.u64();
+  job.shard_key = r.u64();
+  job.correct = r.boolean();
+  job.allow_optimistic = r.boolean();
+  job.reset_all = r.boolean();
+  job.pooled = r.boolean();
+  job.tolerance = r.f64();
+  const std::uint32_t nterms = r.u32();
+  if (nterms == 0 || nterms > 64) throw DataError("wire: bad PSF term count");
+  job.psf_terms.resize(nterms);
+  for (PsfTerm& t : job.psf_terms) {
+    t.weight = r.f64();
+    t.sigma = r.f64();
+  }
+  job.options = get_options(r);
+  job.active = get_shots(r);
+  job.ghosts = get_shots(r);
+  r.finish();
+  return job;
+}
+
+std::string encode(const ShardResult& result) {
+  expects(result.changed.size() == result.doses.size(),
+          "wire: result changed/doses size mismatch");
+  Writer w;
+  w.u64(result.shard_key);
+  w.f64(result.entry_error);
+  w.f64(result.exit_error);
+  w.i32(result.iterations);
+  w.u8(result.updated ? 1 : 0);
+  w.u8(result.optimistic ? 1 : 0);
+  put_perf(w, result.perf);
+  w.u64(result.doses.size());
+  for (const double d : result.doses) w.f64(d);
+  for (const std::uint8_t c : result.changed) w.u8(c ? 1 : 0);
+  w.u32(result.pool_resident);
+  w.u32(result.pool_evictions);
+  w.f64(result.solve_ms);
+  return std::move(w.buf);
+}
+
+ShardResult decode_shard_result(std::string_view payload) {
+  Reader r(payload);
+  ShardResult result;
+  result.shard_key = r.u64();
+  result.entry_error = r.f64();
+  result.exit_error = r.f64();
+  result.iterations = r.i32();
+  result.updated = r.boolean();
+  result.optimistic = r.boolean();
+  result.perf = get_perf(r);
+  const std::size_t n = r.count(8);
+  result.doses.resize(n);
+  for (double& d : result.doses) d = r.f64();
+  result.changed.resize(n);
+  for (std::uint8_t& c : result.changed) c = r.boolean() ? 1 : 0;
+  result.pool_resident = r.u32();
+  result.pool_evictions = r.u32();
+  result.solve_ms = r.f64();
+  r.finish();
+  return result;
+}
+
+std::string encode_frame_header(MsgType type, std::uint64_t payload_size) {
+  Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u32(kEndianTag);
+  w.u32(static_cast<std::uint32_t>(type));
+  w.u64(payload_size);
+  return std::move(w.buf);
+}
+
+std::pair<MsgType, std::uint64_t> parse_frame_header(std::string_view header) {
+  expects(header.size() == kFrameHeaderSize, "wire: header must be 24 bytes");
+  Reader r(header);
+  if (r.u32() != kMagic) throw DataError("wire: bad magic (not an EBLW stream)");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw DataError("wire: version mismatch (stream v" + std::to_string(version) +
+                    ", reader v" + std::to_string(kVersion) + ")");
+  if (r.u32() != kEndianTag)
+    throw DataError("wire: endianness mismatch (stream written foreign-endian)");
+  const std::uint32_t type = r.u32();
+  if (type != static_cast<std::uint32_t>(MsgType::kShardJob) &&
+      type != static_cast<std::uint32_t>(MsgType::kShardResult))
+    throw DataError("wire: unknown message type " + std::to_string(type));
+  return {static_cast<MsgType>(type), r.u64()};
+}
+
+bool read_frame(int fd, Frame* out) {
+  char header[kFrameHeaderSize];
+  if (!read_exact(fd, header, sizeof(header))) return false;  // clean EOF
+  const auto [type, size] = parse_frame_header({header, sizeof(header)});
+  // Sanity cap well above any real shard job (a 500k-shot shard is ~16 MB):
+  // a corrupted length field must fail loudly, not drive a huge allocation.
+  if (size > (std::uint64_t{1} << 32))
+    throw DataError("wire: implausible payload size " + std::to_string(size));
+  out->type = type;
+  out->payload.resize(static_cast<std::size_t>(size));
+  if (size > 0 && !read_exact(fd, out->payload.data(), out->payload.size()))
+    throw DataError("wire: stream ended inside a payload");
+  return true;
+}
+
+void write_frame(int fd, MsgType type, std::string_view payload) {
+  std::string msg = encode_frame_header(type, payload.size());
+  msg.append(payload);
+  write_all(fd, msg.data(), msg.size());
+}
+
+}  // namespace ebl::wire

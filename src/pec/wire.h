@@ -1,0 +1,142 @@
+// Shard-job wire format: the serialized protocol between the sharded PEC
+// driver and out-of-process shard workers (tools/pec_worker.cpp).
+//
+// A shard solve is already a self-contained job — the shard's own shots, the
+// halo ghosts at their frozen published doses, the PSF, and the solve
+// options (src/pec/sharded.h). This header pins that job (and its result)
+// to a versioned binary encoding so the solve can run in another process,
+// or on another machine, and come back *bitwise identical* to the
+// in-process run:
+//
+//   - every double crosses the wire as its raw IEEE-754 bit pattern
+//     (std::bit_cast to uint64), so dose and PSF values round-trip exactly —
+//     no text formatting, no rounding;
+//   - all multi-byte values are little-endian on the wire, with an explicit
+//     endianness tag in the frame header so a foreign-endian (or corrupted)
+//     stream is rejected instead of silently misread; big-endian hosts
+//     byte-swap on the way in and out;
+//   - every frame carries a magic, a format version, and the payload length,
+//     so version skew and truncated streams fail loudly (DataError) rather
+//     than producing garbage doses.
+//
+// Framing: [magic u32]["EBLW" version u32][endian tag u32][type u32]
+// [payload length u64][payload]. Encoders produce payloads; read_frame /
+// write_frame add and verify the header. A stream is a plain concatenation
+// of frames — a file of jobs is a batch, a pipe of jobs is a session.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pec/correction.h"
+
+namespace ebl::wire {
+
+inline constexpr std::uint32_t kMagic = 0x574C4245;  // "EBLW" little-endian
+inline constexpr std::uint32_t kVersion = 1;
+/// Written as-is by every encoder; a reader that sees its bytes reversed is
+/// looking at a stream produced by a writer that did not follow the
+/// little-endian convention (or at garbage) and must reject it.
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+
+enum class MsgType : std::uint32_t {
+  kShardJob = 1,
+  kShardResult = 2,
+};
+
+/// One shard solve, fully specified. The driver builds one per shard per
+/// halo-exchange round; the flags mirror the in-process run_shard arguments
+/// exactly (see src/pec/sharded.cpp) so a worker executes the identical
+/// arithmetic.
+struct ShardJob {
+  /// Driver-session tag: a worker drops its resident evaluator pool when it
+  /// changes, so one long-lived worker can serve successive solves (whose
+  /// shard keys may collide but whose geometry differs).
+  std::uint64_t session_id = 0;
+  /// Packed shard grid key (util/gridkeys.h) — the shard's stable identity,
+  /// and the worker's resident-pool key.
+  std::uint64_t shard_key = 0;
+
+  bool correct = true;           ///< false: measurement-only pass
+  bool allow_optimistic = false; ///< may publish a final unverified update
+  bool reset_all = false;        ///< resident re-entry must re-apply own doses
+  bool pooled = true;            ///< driver pools evaluators (splat-cache rule)
+
+  /// Per-shard stopping tolerance (the driver applies its cross-shard slack
+  /// before filling this in).
+  double tolerance = 0.0;
+
+  /// The PSF's terms, verbatim (reconstructed via Psf::from_terms — no
+  /// renormalization, so the worker's PSF is bit-identical).
+  std::vector<PsfTerm> psf_terms;
+
+  /// Solve knobs. The worker honors target/damping/clamps/max_iterations and
+  /// every ExposureOptions field; resident_shard_budget sizes the worker's
+  /// own evaluator pool. worker_count/worker_path are carried for
+  /// completeness but ignored by workers (no recursive fan-out).
+  PecOptions options;
+
+  ShotList active;  ///< the shard's own shots at their published doses
+  ShotList ghosts;  ///< halo ghosts at frozen doses, in driver (CSR) order
+};
+
+/// The worker's answer: the solved active doses plus the bookkeeping the
+/// driver folds into PecResult. Doses are the evaluator's *applied* doses
+/// (or the final unverified update after an optimistic exit) — exactly what
+/// the in-process path publishes.
+struct ShardResult {
+  std::uint64_t shard_key = 0;
+
+  double entry_error = 0.0;  ///< max error at entry (fresh ghost doses)
+  double exit_error = 0.0;   ///< max error at the last evaluation
+  std::int32_t iterations = 0;
+  bool updated = false;     ///< any dose actually changed
+  bool optimistic = false;  ///< exited after an update it did not re-verify
+
+  BlurPerf perf;  ///< this run's evaluator refresh accounting
+
+  std::vector<double> doses;          ///< per active shot, job order
+  std::vector<std::uint8_t> changed;  ///< per active shot: dose moved
+
+  /// Worker pool snapshot (occupancy after this job / lifetime evictions) —
+  /// the driver sums the per-worker values into PecResult.
+  std::uint32_t pool_resident = 0;
+  std::uint32_t pool_evictions = 0;
+  double solve_ms = 0.0;  ///< worker-side wall clock of this job
+};
+
+/// Encode to a payload (no frame header). Doubles are bit-exact.
+std::string encode(const ShardJob& job);
+std::string encode(const ShardResult& result);
+
+/// Decode a payload. Throws DataError on truncation, trailing bytes, or
+/// out-of-range enum/count values.
+ShardJob decode_shard_job(std::string_view payload);
+ShardResult decode_shard_result(std::string_view payload);
+
+/// A framed message as read off a stream.
+struct Frame {
+  MsgType type = MsgType::kShardJob;
+  std::string payload;
+};
+
+/// The 24-byte frame header for @p payload_size bytes of @p type.
+std::string encode_frame_header(MsgType type, std::uint64_t payload_size);
+
+/// Parses a frame header, validating magic, version, and endian tag.
+/// @p header must be exactly kFrameHeaderSize bytes. Returns (type,
+/// payload size). Throws DataError on any mismatch.
+inline constexpr std::size_t kFrameHeaderSize = 24;
+std::pair<MsgType, std::uint64_t> parse_frame_header(std::string_view header);
+
+/// Reads one frame from @p fd. Returns false on clean EOF at a frame
+/// boundary (no bytes read); throws DataError on a truncated header or
+/// payload, or a header that fails validation.
+bool read_frame(int fd, Frame* out);
+
+/// Writes one framed message to @p fd (header + payload, single logical
+/// write). Throws DataError on short writes / broken pipes.
+void write_frame(int fd, MsgType type, std::string_view payload);
+
+}  // namespace ebl::wire

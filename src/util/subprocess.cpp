@@ -1,0 +1,195 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw DataError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// A worker that died mid-conversation must surface as a DataError on the
+// writing thread, not as a process-killing SIGPIPE. Ignoring the signal is
+// process-wide; done lazily so merely linking this file changes nothing.
+void ignore_sigpipe_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace
+
+void write_all(int fd, const void* data, std::size_t n) {
+  ignore_sigpipe_once();
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("subprocess: write failed");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool read_exact(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("subprocess: read failed");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a record boundary
+      throw DataError("subprocess: stream ended mid-record");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  expects(!argv.empty(), "Subprocess::spawn: empty argv");
+  ignore_sigpipe_once();
+
+  // in_pipe: parent writes [1] -> child reads [0] (child stdin).
+  // out_pipe: child writes [1] -> parent reads [0] (child stdout).
+  int in_pipe[2];
+  int out_pipe[2];
+  if (::pipe(in_pipe) != 0) throw_errno("subprocess: pipe failed");
+  if (::pipe(out_pipe) != 0) {
+    ::close(in_pipe[0]);
+    ::close(in_pipe[1]);
+    throw_errno("subprocess: pipe failed");
+  }
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]}) ::close(fd);
+    throw_errno("subprocess: fork failed");
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout, drop everything else we opened.
+    ::dup2(in_pipe[0], STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1]}) ::close(fd);
+    ::signal(SIGPIPE, SIG_DFL);  // children get the default disposition back
+    ::execvp(cargv[0], cargv.data());
+    // exec failed: nothing sane to do in a forked child but report and exit.
+    const char* msg = "subprocess: exec failed: ";
+    (void)!::write(STDERR_FILENO, msg, std::strlen(msg));
+    (void)!::write(STDERR_FILENO, cargv[0], std::strlen(cargv[0]));
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+
+  ::close(in_pipe[0]);
+  ::close(out_pipe[1]);
+  Subprocess s;
+  s.pid_ = pid;
+  s.in_ = in_pipe[1];
+  s.out_ = out_pipe[0];
+  return s;
+}
+
+Subprocess::Subprocess(Subprocess&& o) noexcept
+    : pid_(o.pid_), in_(o.in_), out_(o.out_) {
+  o.pid_ = -1;
+  o.in_ = -1;
+  o.out_ = -1;
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& o) noexcept {
+  if (this != &o) {
+    terminate();
+    pid_ = o.pid_;
+    in_ = o.in_;
+    out_ = o.out_;
+    o.pid_ = -1;
+    o.in_ = -1;
+    o.out_ = -1;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() { terminate(); }
+
+void Subprocess::close_stdin() {
+  if (in_ >= 0) {
+    ::close(in_);
+    in_ = -1;
+  }
+}
+
+int Subprocess::wait() {
+  expects(pid_ > 0, "Subprocess::wait: no running child");
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  pid_ = -1;
+  close_stdin();
+  if (out_ >= 0) {
+    ::close(out_);
+    out_ = -1;
+  }
+  if (r < 0) throw_errno("subprocess: waitpid failed");
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -1;
+}
+
+void Subprocess::terminate() {
+  if (pid_ <= 0) {
+    close_stdin();
+    if (out_ >= 0) {
+      ::close(out_);
+      out_ = -1;
+    }
+    return;
+  }
+  ::kill(pid_, SIGKILL);
+  wait();
+}
+
+ProcessPool::ProcessPool(const std::vector<std::string>& argv, int count) {
+  expects(count > 0, "ProcessPool: need at least one worker");
+  workers_.reserve(static_cast<std::size_t>(count));
+  // Subprocess destructors reap already-spawned workers if a later spawn
+  // throws mid-loop.
+  for (int i = 0; i < count; ++i) workers_.push_back(Subprocess::spawn(argv));
+}
+
+std::vector<int> ProcessPool::shutdown() {
+  std::vector<int> statuses;
+  statuses.reserve(workers_.size());
+  for (Subprocess& w : workers_) w.close_stdin();
+  for (Subprocess& w : workers_) statuses.push_back(w.running() ? w.wait() : 0);
+  workers_.clear();
+  return statuses;
+}
+
+void ProcessPool::terminate_all() {
+  for (Subprocess& w : workers_) w.terminate();
+  workers_.clear();
+}
+
+}  // namespace ebl

@@ -1,0 +1,100 @@
+// Minimal POSIX subprocess + process-pool utility: the substrate under the
+// out-of-process sharded PEC driver (src/pec/sharded.cpp farms shard jobs to
+// tools/pec_worker processes over pipes).
+//
+// Scope is deliberately small: spawn a child with piped stdin/stdout (stderr
+// is inherited, so worker diagnostics land on the parent's stderr), blocking
+// whole-buffer reads/writes, orderly shutdown by closing the child's stdin,
+// and a kill switch for error paths. Concurrency is the caller's business —
+// the PEC driver pairs one writer and one reader thread per worker so a
+// worker can stream results while jobs are still being queued, which is what
+// makes pipe-buffer deadlock impossible regardless of job or result size.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace ebl {
+
+/// Writes exactly @p n bytes to @p fd, retrying short writes and EINTR.
+/// Throws DataError on any write error — including EPIPE: SIGPIPE is set to
+/// ignored (process-wide, once) on the first call, so a dead reader surfaces
+/// as an exception instead of killing the process.
+void write_all(int fd, const void* data, std::size_t n);
+
+/// Reads exactly @p n bytes from @p fd, retrying short reads and EINTR.
+/// Returns true when all @p n bytes arrived; false on clean EOF before the
+/// first byte. Throws DataError on EOF after a partial read, or a read
+/// error — a mid-record EOF is corruption, not a boundary.
+bool read_exact(int fd, void* data, std::size_t n);
+
+/// One spawned child process with pipes on its stdin and stdout.
+/// Move-only; the destructor kills (SIGKILL) and reaps a child that is
+/// still running — orderly shutdown is close_stdin() + wait().
+class Subprocess {
+ public:
+  /// Forks and execs argv[0] with arguments argv[1..]. The child's stdin
+  /// and stdout are pipes owned by this object; stderr is inherited.
+  /// Throws DataError when the pipes or the fork fail, and the child
+  /// exits 127 when the exec itself fails (surfaced by wait()).
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  Subprocess() = default;
+  Subprocess(Subprocess&& o) noexcept;
+  Subprocess& operator=(Subprocess&& o) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess();
+
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  /// Write end of the child's stdin; -1 after close_stdin().
+  int stdin_fd() const { return in_; }
+  /// Read end of the child's stdout.
+  int stdout_fd() const { return out_; }
+
+  /// Closes the child's stdin — the EOF a well-behaved worker exits on.
+  void close_stdin();
+
+  /// Blocks until the child exits and reaps it. Returns the exit code for a
+  /// normal exit, or -signal when the child was killed by a signal.
+  int wait();
+
+  /// SIGKILLs a running child and reaps it. No-op when already waited.
+  void terminate();
+
+ private:
+  pid_t pid_ = -1;
+  int in_ = -1;   ///< parent's write end of the child's stdin
+  int out_ = -1;  ///< parent's read end of the child's stdout
+};
+
+/// A fixed set of identical worker processes. Thin by design: it owns
+/// spawning and teardown; job routing, framing, and per-worker threads stay
+/// with the caller.
+class ProcessPool {
+ public:
+  /// Spawns @p count workers running @p argv. Throws DataError (and reaps
+  /// any already-spawned workers) when a spawn fails.
+  ProcessPool(const std::vector<std::string>& argv, int count);
+
+  std::size_t size() const { return workers_.size(); }
+  Subprocess& worker(std::size_t i) { return workers_[i]; }
+
+  /// Orderly shutdown: close every stdin, wait for every worker, and return
+  /// the list of exit statuses (wait() semantics). Safe to call once;
+  /// workers are gone afterwards.
+  std::vector<int> shutdown();
+
+  /// Error-path teardown: SIGKILL + reap everything still running.
+  void terminate_all();
+
+ private:
+  std::vector<Subprocess> workers_;
+};
+
+}  // namespace ebl

@@ -184,6 +184,36 @@ TEST(Pipeline, RecordsStageTimes) {
   EXPECT_EQ(sh.stage_times[pec_at].name, "pec");
 }
 
+TEST(Pipeline, DistributedPecMatchesInProcessThroughThePipeline) {
+  // The pipeline drives the distributed solve exactly like the in-process
+  // one: same stages, same stage names, bitwise the same doses, plus the
+  // worker count surfaced in the result.
+  PolygonSet s;
+  s.insert(Box{0, 0, 20000, 20000});
+  s.insert(Box{40000, 9000, 41000, 10000});
+  PrepOptions opt;
+  opt.fracture.max_shot_size = 2000;
+  opt.pec_psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  opt.pec.max_iterations = 6;
+  opt.pec.shard_size = 25000;
+  const PrepResult local = run_data_prep(s, opt);
+
+  PrepOptions dopt = opt;
+  dopt.pec.worker_count = 2;
+  PrepResult dist;
+  try {
+    dist = run_data_prep(s, dopt);
+  } catch (const DataError&) {
+    GTEST_SKIP() << "pec_worker binary not built";
+  }
+  EXPECT_EQ(local.pec_workers, 0);
+  EXPECT_GE(dist.pec_workers, 1);
+  EXPECT_EQ(dist.pec_shards, local.pec_shards);
+  ASSERT_EQ(dist.shots.size(), local.shots.size());
+  for (std::size_t i = 0; i < local.shots.size(); ++i)
+    EXPECT_EQ(dist.shots[i].dose, local.shots[i].dose) << "shot " << i;
+}
+
 TEST(Pipeline, ShardedPecSkipsGlobalBaseline) {
   PolygonSet s;
   s.insert(Box{0, 0, 20000, 20000});

@@ -1,0 +1,402 @@
+// Tests for the shard-job wire format (src/pec/wire.h) and the
+// out-of-process sharded PEC pipeline built on it: exact round-trips,
+// malformed-stream rejection, the worker CLI protocol, and the headline
+// contract — distributed solves are bitwise-identical to in-process ones.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/patterns.h"
+#include "fracture/fracture.h"
+#include "pec/correction.h"
+#include "pec/sharded.h"
+#include "pec/wire.h"
+#include "util/contracts.h"
+#include "util/subprocess.h"
+
+namespace ebl {
+namespace {
+
+Psf test_psf() { return Psf::double_gaussian(50.0, 3000.0, 0.7); }
+
+ShotList dense_grid_shots(Coord side) {
+  PolygonSet s = checkerboard(Box{0, 0, side, side}, 2000);
+  return fracture(s, {.max_shot_size = 2000}).shots;
+}
+
+bool worker_available() {
+  return ::access(default_pec_worker_path().c_str(), X_OK) == 0;
+}
+
+// A job exercising every field, including doubles with no short decimal
+// representation and extreme-magnitude values — round-trips must be
+// bit-exact, not "close".
+wire::ShardJob sample_job() {
+  wire::ShardJob job;
+  job.session_id = 0x0123456789abcdefULL;
+  job.shard_key = 0xfedcba9876543210ULL;
+  job.correct = true;
+  job.allow_optimistic = true;
+  job.reset_all = false;
+  job.pooled = true;
+  job.tolerance = 1.0 / 3.0;
+  job.psf_terms = {{1.0 / 1.7, 50.0}, {0.7 / 1.7, 3000.0}};
+  job.options.max_iterations = 17;
+  job.options.tolerance = 0.01;
+  job.options.target = std::nextafter(1.0, 2.0);
+  job.options.damping = 0.9;
+  job.options.min_dose = std::numeric_limits<double>::denorm_min();
+  job.options.max_dose = 8.0;
+  job.options.dose_classes = 64;
+  job.options.shard_size = 30000;
+  job.options.halo_factor = 4.0;
+  job.options.exchange_rounds = 3;
+  job.options.density_warm_start = false;
+  job.options.resident_shard_budget = 5;
+  job.options.worker_count = 3;
+  job.options.exposure.pixels_per_sigma = 4.5;
+  job.options.exposure.threads = 2;
+  job.options.exposure.blur_backend = BlurBackend::kFft;
+  job.options.exposure.delta_threshold = 1e-7;
+  job.options.exposure.fast_erf = false;
+  job.active = {Shot{{-10, 5, -2000000000, -5, -7, 0}, 0.1},
+                Shot{{0, 1000, 0, 2000000000, 10, 1999999999}, 1e300}};
+  job.ghosts = {Shot{{3, 7, 1, 2, 1, 2}, 4.9e-324}};
+  return job;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(Wire, JobRoundTripIsBitExact) {
+  const wire::ShardJob job = sample_job();
+  const wire::ShardJob back = wire::decode_shard_job(wire::encode(job));
+
+  EXPECT_EQ(back.session_id, job.session_id);
+  EXPECT_EQ(back.shard_key, job.shard_key);
+  EXPECT_EQ(back.correct, job.correct);
+  EXPECT_EQ(back.allow_optimistic, job.allow_optimistic);
+  EXPECT_EQ(back.reset_all, job.reset_all);
+  EXPECT_EQ(back.pooled, job.pooled);
+  EXPECT_EQ(bits(back.tolerance), bits(job.tolerance));
+  ASSERT_EQ(back.psf_terms.size(), job.psf_terms.size());
+  for (std::size_t i = 0; i < job.psf_terms.size(); ++i) {
+    EXPECT_EQ(bits(back.psf_terms[i].weight), bits(job.psf_terms[i].weight));
+    EXPECT_EQ(bits(back.psf_terms[i].sigma), bits(job.psf_terms[i].sigma));
+  }
+  EXPECT_EQ(back.options.max_iterations, job.options.max_iterations);
+  EXPECT_EQ(bits(back.options.target), bits(job.options.target));
+  EXPECT_EQ(bits(back.options.min_dose), bits(job.options.min_dose));
+  EXPECT_EQ(back.options.dose_classes, job.options.dose_classes);
+  EXPECT_EQ(back.options.density_warm_start, job.options.density_warm_start);
+  EXPECT_EQ(back.options.worker_count, job.options.worker_count);
+  EXPECT_EQ(back.options.exposure.blur_backend, job.options.exposure.blur_backend);
+  EXPECT_EQ(bits(back.options.exposure.delta_threshold),
+            bits(job.options.exposure.delta_threshold));
+  EXPECT_EQ(back.options.exposure.fast_erf, job.options.exposure.fast_erf);
+  ASSERT_EQ(back.active.size(), job.active.size());
+  for (std::size_t i = 0; i < job.active.size(); ++i) {
+    EXPECT_EQ(back.active[i].shape, job.active[i].shape);
+    EXPECT_EQ(bits(back.active[i].dose), bits(job.active[i].dose));
+  }
+  ASSERT_EQ(back.ghosts.size(), job.ghosts.size());
+  EXPECT_EQ(bits(back.ghosts[0].dose), bits(job.ghosts[0].dose));
+}
+
+TEST(Wire, ResultRoundTripIsBitExact) {
+  wire::ShardResult r;
+  r.shard_key = 42;
+  r.entry_error = 0.123456789012345678;
+  r.exit_error = 1e-17;
+  r.iterations = 9;
+  r.updated = true;
+  r.optimistic = true;
+  r.perf.accumulate_ms = 1.5;
+  r.perf.blur_ms = 2.5;
+  r.perf.refreshes = 3;
+  r.perf.delta_accumulate_ms = 0.25;
+  r.perf.delta_refreshes = 4;
+  r.perf.skipped_refreshes = 5;
+  r.perf.shots_updated = 1234567890123LL;
+  r.doses = {0.1, 2.0 / 3.0, std::nextafter(1.0, 0.0)};
+  r.changed = {1, 0, 1};
+  r.pool_resident = 7;
+  r.pool_evictions = 11;
+  r.solve_ms = 98.5;
+
+  const wire::ShardResult back = wire::decode_shard_result(wire::encode(r));
+  EXPECT_EQ(back.shard_key, r.shard_key);
+  EXPECT_EQ(bits(back.entry_error), bits(r.entry_error));
+  EXPECT_EQ(bits(back.exit_error), bits(r.exit_error));
+  EXPECT_EQ(back.iterations, r.iterations);
+  EXPECT_EQ(back.updated, r.updated);
+  EXPECT_EQ(back.optimistic, r.optimistic);
+  EXPECT_EQ(back.perf.refreshes, r.perf.refreshes);
+  EXPECT_EQ(back.perf.shots_updated, r.perf.shots_updated);
+  ASSERT_EQ(back.doses.size(), r.doses.size());
+  for (std::size_t i = 0; i < r.doses.size(); ++i)
+    EXPECT_EQ(bits(back.doses[i]), bits(r.doses[i]));
+  EXPECT_EQ(back.changed, r.changed);
+  EXPECT_EQ(back.pool_resident, r.pool_resident);
+  EXPECT_EQ(back.pool_evictions, r.pool_evictions);
+  EXPECT_EQ(bits(back.solve_ms), bits(r.solve_ms));
+}
+
+TEST(Wire, FrameHeaderRoundTripAndRejections) {
+  const std::string h = wire::encode_frame_header(wire::MsgType::kShardResult, 99);
+  ASSERT_EQ(h.size(), wire::kFrameHeaderSize);
+  const auto [type, size] = wire::parse_frame_header(h);
+  EXPECT_EQ(type, wire::MsgType::kShardResult);
+  EXPECT_EQ(size, 99u);
+
+  // Corrupted magic.
+  std::string bad = h;
+  bad[0] = 'X';
+  EXPECT_THROW(wire::parse_frame_header(bad), DataError);
+
+  // Future format version.
+  bad = h;
+  bad[4] = static_cast<char>(wire::kVersion + 1);
+  EXPECT_THROW(wire::parse_frame_header(bad), DataError);
+
+  // Foreign-endian stream: the endian tag bytes arrive reversed.
+  bad = h;
+  std::swap(bad[8], bad[11]);
+  std::swap(bad[9], bad[10]);
+  EXPECT_THROW(wire::parse_frame_header(bad), DataError);
+
+  // Unknown message type.
+  bad = h;
+  bad[12] = 9;
+  EXPECT_THROW(wire::parse_frame_header(bad), DataError);
+
+  // A header must be exactly 24 bytes.
+  EXPECT_THROW(wire::parse_frame_header(h.substr(0, 23)), ContractViolation);
+}
+
+TEST(Wire, TruncatedPayloadThrowsAtEveryCut) {
+  const std::string payload = wire::encode(sample_job());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_THROW(wire::decode_shard_job(payload.substr(0, cut)), DataError)
+        << "cut at " << cut;
+  }
+  // Trailing garbage is corruption too, not padding.
+  EXPECT_THROW(wire::decode_shard_job(payload + '\0'), DataError);
+  EXPECT_NO_THROW(wire::decode_shard_job(payload));
+
+  const std::string rpayload = wire::encode(wire::ShardResult{});
+  for (std::size_t cut = 0; cut < rpayload.size(); ++cut) {
+    EXPECT_THROW(wire::decode_shard_result(rpayload.substr(0, cut)), DataError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Wire, MalformedFieldValuesRejected) {
+  std::string payload = wire::encode(sample_job());
+  // Offset 16: the 'correct' flag — booleans must be 0 or 1.
+  ASSERT_GT(payload.size(), 16u);
+  payload[16] = 2;
+  EXPECT_THROW(wire::decode_shard_job(payload), DataError);
+}
+
+TEST(Wire, ReadFrameStreamsAndDetectsTruncation) {
+  const std::string p1 = wire::encode(sample_job());
+  wire::ShardResult res;
+  res.doses = {1.0};
+  res.changed = {0};
+  const std::string p2 = wire::encode(res);
+
+  // Two frames back-to-back through a pipe, then clean EOF.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  wire::write_frame(fds[1], wire::MsgType::kShardJob, p1);
+  wire::write_frame(fds[1], wire::MsgType::kShardResult, p2);
+  ::close(fds[1]);
+  wire::Frame f;
+  ASSERT_TRUE(wire::read_frame(fds[0], &f));
+  EXPECT_EQ(f.type, wire::MsgType::kShardJob);
+  EXPECT_EQ(f.payload, p1);
+  ASSERT_TRUE(wire::read_frame(fds[0], &f));
+  EXPECT_EQ(f.type, wire::MsgType::kShardResult);
+  EXPECT_EQ(f.payload, p2);
+  EXPECT_FALSE(wire::read_frame(fds[0], &f));  // clean EOF
+  ::close(fds[0]);
+
+  // Stream ends inside the header.
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string header = wire::encode_frame_header(wire::MsgType::kShardJob, p1.size());
+  write_all(fds[1], header.data(), header.size() - 4);
+  ::close(fds[1]);
+  EXPECT_THROW(wire::read_frame(fds[0], &f), DataError);
+  ::close(fds[0]);
+
+  // Stream ends inside the payload.
+  ASSERT_EQ(::pipe(fds), 0);
+  write_all(fds[1], header.data(), header.size());
+  write_all(fds[1], p1.data(), p1.size() / 2);
+  ::close(fds[1]);
+  EXPECT_THROW(wire::read_frame(fds[0], &f), DataError);
+  ::close(fds[0]);
+}
+
+// Speaks the wire protocol to a real pec_worker process by hand: one tiny
+// job in, one result out, clean exit on EOF — and the result matches the
+// in-process solver bit for bit.
+TEST(Wire, WorkerCliSolvesAJobBitExactly) {
+  if (!worker_available()) GTEST_SKIP() << "pec_worker binary not built";
+
+  wire::ShardJob job;
+  job.session_id = 7;
+  job.shard_key = 0;
+  job.tolerance = 0.001;
+  const Psf psf = Psf::single_gaussian(300.0);
+  job.psf_terms.assign(psf.terms().begin(), psf.terms().end());
+  job.options.max_iterations = 8;
+  job.active = {Shot{{0, 1000, 0, 1000, 0, 1000}, 1.0},
+                Shot{{0, 1000, 1200, 2200, 1200, 2200}, 1.0}};
+  job.ghosts = {Shot{{1200, 2200, 0, 1000, 0, 1000}, 1.1}};
+
+  const wire::ShardResult expected = solve_shard_job(job, nullptr);
+
+  Subprocess worker = Subprocess::spawn({default_pec_worker_path()});
+  wire::write_frame(worker.stdin_fd(), wire::MsgType::kShardJob, wire::encode(job));
+  wire::Frame frame;
+  ASSERT_TRUE(wire::read_frame(worker.stdout_fd(), &frame));
+  EXPECT_EQ(frame.type, wire::MsgType::kShardResult);
+  const wire::ShardResult got = wire::decode_shard_result(frame.payload);
+  worker.close_stdin();
+  EXPECT_EQ(worker.wait(), 0);
+
+  ASSERT_EQ(got.doses.size(), expected.doses.size());
+  for (std::size_t i = 0; i < expected.doses.size(); ++i)
+    EXPECT_EQ(bits(got.doses[i]), bits(expected.doses[i])) << "dose " << i;
+  EXPECT_EQ(bits(got.entry_error), bits(expected.entry_error));
+  EXPECT_EQ(bits(got.exit_error), bits(expected.exit_error));
+  EXPECT_EQ(got.iterations, expected.iterations);
+  EXPECT_EQ(got.changed, expected.changed);
+}
+
+// The headline acceptance criterion: the multi-process solve at the same
+// shard layout produces bitwise-identical doses to the in-process sharded
+// engine (which is itself pinned against the monolithic oracle elsewhere).
+TEST(DistributedPec, BitwiseIdenticalToInProcessSharded) {
+  if (!worker_available()) GTEST_SKIP() << "pec_worker binary not built";
+  const ShotList shots = dense_grid_shots(60000);
+  const Psf psf = test_psf();
+  PecOptions opt;
+  opt.shard_size = 30000;  // 2x2 shard grid, boundaries through dense geometry
+  opt.max_iterations = 10;
+
+  const PecResult local = correct_proximity(shots, psf, opt);
+  ASSERT_GE(local.shards, 4);
+
+  PecOptions dopt = opt;
+  dopt.worker_count = 2;
+  const PecResult dist = correct_proximity(shots, psf, dopt);
+
+  EXPECT_EQ(dist.workers, 2);
+  EXPECT_EQ(dist.shards, local.shards);
+  EXPECT_EQ(dist.rounds, local.rounds);
+  EXPECT_EQ(dist.iterations, local.iterations);
+  ASSERT_EQ(dist.shots.size(), local.shots.size());
+  for (std::size_t i = 0; i < local.shots.size(); ++i) {
+    EXPECT_EQ(bits(dist.shots[i].dose), bits(local.shots[i].dose)) << "shot " << i;
+  }
+  EXPECT_EQ(bits(dist.final_max_error), bits(local.final_max_error));
+  ASSERT_EQ(dist.max_error_history.size(), local.max_error_history.size());
+  for (std::size_t i = 0; i < local.max_error_history.size(); ++i) {
+    EXPECT_EQ(bits(dist.max_error_history[i]), bits(local.max_error_history[i]));
+  }
+}
+
+// Quantization forces the full distributed measurement pass (every shard
+// reset and re-measured) — that path must be bitwise too.
+TEST(DistributedPec, QuantizedSolveBitwiseIncludingMeasurementPass) {
+  if (!worker_available()) GTEST_SKIP() << "pec_worker binary not built";
+  const ShotList shots = dense_grid_shots(40000);
+  const Psf psf = test_psf();
+  PecOptions opt;
+  opt.shard_size = 20000;
+  opt.max_iterations = 6;
+  opt.dose_classes = 16;
+
+  const PecResult local = correct_proximity(shots, psf, opt);
+  PecOptions dopt = opt;
+  dopt.worker_count = 3;
+  const PecResult dist = correct_proximity(shots, psf, dopt);
+
+  ASSERT_EQ(dist.shots.size(), local.shots.size());
+  for (std::size_t i = 0; i < local.shots.size(); ++i)
+    EXPECT_EQ(bits(dist.shots[i].dose), bits(local.shots[i].dose)) << "shot " << i;
+  EXPECT_EQ(bits(dist.final_max_error), bits(local.final_max_error));
+}
+
+TEST(DistributedPec, WorkerCountClampedToShardCountAndBudgetInvariant) {
+  if (!worker_available()) GTEST_SKIP() << "pec_worker binary not built";
+  const ShotList shots = dense_grid_shots(40000);
+  const Psf psf = test_psf();
+  PecOptions opt;
+  opt.shard_size = 20000;
+  opt.max_iterations = 5;
+  const PecResult local = correct_proximity(shots, psf, opt);
+
+  // Far more workers than shards: clamped, still correct. A zero pool
+  // budget (all-transient workers) must not change a bit either.
+  for (const int budget : {64, 0}) {
+    PecOptions dopt = opt;
+    dopt.worker_count = 64;
+    dopt.resident_shard_budget = budget;
+    const PecResult dist = correct_proximity(shots, psf, dopt);
+    EXPECT_LE(dist.workers, dist.shards);
+    ASSERT_EQ(dist.shots.size(), local.shots.size());
+    for (std::size_t i = 0; i < local.shots.size(); ++i)
+      EXPECT_EQ(bits(dist.shots[i].dose), bits(local.shots[i].dose))
+          << "budget " << budget << " shot " << i;
+  }
+}
+
+TEST(DistributedPec, ConvenienceEntryDefaultsShardSize) {
+  if (!worker_available()) GTEST_SKIP() << "pec_worker binary not built";
+  const ShotList shots = dense_grid_shots(20000);
+  const Psf psf = test_psf();
+  PecOptions opt;
+  opt.max_iterations = 4;
+  opt.worker_count = 2;
+  ASSERT_EQ(opt.shard_size, 0);
+  const PecResult dist = correct_proximity_distributed(shots, psf, opt);
+  EXPECT_GE(dist.shards, 1);
+  EXPECT_GE(dist.workers, 1);
+
+  // correct_proximity must honor worker_count the same way, not silently
+  // fall back to the monolithic in-process solve because shard_size is 0.
+  const PecResult via_dispatch = correct_proximity(shots, psf, opt);
+  EXPECT_GE(via_dispatch.workers, 1);
+  ASSERT_EQ(via_dispatch.shots.size(), dist.shots.size());
+  for (std::size_t i = 0; i < dist.shots.size(); ++i)
+    EXPECT_EQ(bits(via_dispatch.shots[i].dose), bits(dist.shots[i].dose));
+
+  PecOptions lopt = opt;
+  lopt.worker_count = 0;
+  lopt.shard_size = default_shard_size(psf, lopt);
+  const PecResult local = correct_proximity(shots, psf, lopt);
+  ASSERT_EQ(dist.shots.size(), local.shots.size());
+  for (std::size_t i = 0; i < local.shots.size(); ++i)
+    EXPECT_EQ(bits(dist.shots[i].dose), bits(local.shots[i].dose)) << "shot " << i;
+}
+
+TEST(DistributedPec, MissingWorkerBinaryFailsLoudly) {
+  const ShotList shots = dense_grid_shots(20000);
+  PecOptions opt;
+  opt.shard_size = 10000;
+  opt.worker_count = 2;
+  opt.worker_path = "/nonexistent/pec_worker";
+  EXPECT_THROW(correct_proximity(shots, test_psf(), opt), DataError);
+}
+
+}  // namespace
+}  // namespace ebl

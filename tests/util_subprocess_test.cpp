@@ -1,0 +1,105 @@
+// Tests for the subprocess / process-pool utility under the distributed PEC
+// driver: pipe plumbing, exact-read semantics, exit statuses, and the
+// failure modes (exec failure, broken pipes, mid-record EOF).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "util/contracts.h"
+#include "util/subprocess.h"
+
+namespace ebl {
+namespace {
+
+TEST(Subprocess, PipesThroughCat) {
+  Subprocess cat = Subprocess::spawn({"/bin/cat"});
+  ASSERT_TRUE(cat.running());
+  const std::string msg = "hello across the pipe\n";
+  write_all(cat.stdin_fd(), msg.data(), msg.size());
+  cat.close_stdin();
+
+  std::string got(msg.size(), '\0');
+  ASSERT_TRUE(read_exact(cat.stdout_fd(), got.data(), got.size()));
+  EXPECT_EQ(got, msg);
+  // cat exits 0 on EOF; its stdout then reports clean EOF too.
+  char extra;
+  EXPECT_FALSE(read_exact(cat.stdout_fd(), &extra, 1));
+  EXPECT_EQ(cat.wait(), 0);
+  EXPECT_FALSE(cat.running());
+}
+
+TEST(Subprocess, ReportsExitCode) {
+  Subprocess sh = Subprocess::spawn({"/bin/sh", "-c", "exit 3"});
+  EXPECT_EQ(sh.wait(), 3);
+}
+
+TEST(Subprocess, ExecFailureSurfacesAs127) {
+  Subprocess p = Subprocess::spawn({"/nonexistent/definitely-not-a-binary"});
+  EXPECT_EQ(p.wait(), 127);
+}
+
+TEST(Subprocess, TerminateKillsARunningChild) {
+  Subprocess sleeper = Subprocess::spawn({"/bin/sleep", "60"});
+  ASSERT_TRUE(sleeper.running());
+  sleeper.terminate();
+  EXPECT_FALSE(sleeper.running());
+}
+
+TEST(Subprocess, ReadExactDistinguishesEofFromTruncation) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  write_all(fds[1], "abcd", 4);
+  ::close(fds[1]);
+
+  char buf[4];
+  ASSERT_TRUE(read_exact(fds[0], buf, 4));
+  EXPECT_EQ(std::memcmp(buf, "abcd", 4), 0);
+  // Clean EOF at a record boundary: false, no throw.
+  EXPECT_FALSE(read_exact(fds[0], buf, 4));
+  ::close(fds[0]);
+
+  // EOF in the middle of a record: corruption, throws.
+  ASSERT_EQ(::pipe(fds), 0);
+  write_all(fds[1], "ab", 2);
+  ::close(fds[1]);
+  EXPECT_THROW(read_exact(fds[0], buf, 4), DataError);
+  ::close(fds[0]);
+}
+
+TEST(Subprocess, WriteToBrokenPipeThrowsInsteadOfKilling) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // no reader
+  const std::string data(1024, 'x');
+  EXPECT_THROW(write_all(fds[1], data.data(), data.size()), DataError);
+  ::close(fds[1]);
+}
+
+TEST(ProcessPool, SpawnsAndShutsDownCleanly) {
+  ProcessPool pool({"/bin/cat"}, 3);
+  ASSERT_EQ(pool.size(), 3u);
+  // Each worker is live and independent.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const std::string msg = "worker " + std::to_string(i);
+    write_all(pool.worker(i).stdin_fd(), msg.data(), msg.size());
+    std::string got(msg.size(), '\0');
+    ASSERT_TRUE(read_exact(pool.worker(i).stdout_fd(), got.data(), got.size()));
+    EXPECT_EQ(got, msg);
+  }
+  const std::vector<int> statuses = pool.shutdown();
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const int s : statuses) EXPECT_EQ(s, 0);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(ProcessPool, TerminateAllOnErrorPath) {
+  ProcessPool pool({"/bin/sleep", "60"}, 2);
+  pool.terminate_all();
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ebl

@@ -1,0 +1,189 @@
+// pec_worker — the out-of-process shard solver of the distributed sharded
+// PEC pipeline (src/pec/sharded.cpp).
+//
+// Reads shard jobs in the versioned binary wire format (src/pec/wire.h)
+// from a pipe or file, runs each per-shard Jacobi solve through the same
+// solve_shard_job the in-process sweep uses — so a remote solve is
+// bitwise-identical to a local one — and writes results back. Exits 0 on
+// clean EOF at a frame boundary; any protocol violation or solve failure is
+// reported on stderr and exits nonzero, which the driver surfaces as a
+// DataError.
+//
+// The worker is stateless across jobs except for its resident evaluator
+// pool: evaluators are kept per shard key (LRU-evicted over the budget) and
+// re-entered through the exact set_background_doses / reset_doses refresh
+// protocol the job's flags select, so residency changes wall clock but
+// never a bit of the doses. A session tag in each job drops the pool when a
+// long-lived worker starts seeing a different solve.
+//
+// Usage:
+//   pec_worker [--jobs PATH] [--results PATH] [--pool-budget N]
+//
+//   --jobs PATH      read jobs from PATH instead of stdin
+//   --results PATH   write results to PATH instead of stdout
+//   --pool-budget N  cap the resident evaluator pool at N evaluators,
+//                    overriding each job's resident_shard_budget (manual /
+//                    debugging use; the driver sizes pools via the job)
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "pec/exposure.h"
+#include "pec/sharded.h"
+#include "pec/wire.h"
+#include "util/contracts.h"
+
+using namespace ebl;
+
+namespace {
+
+struct PoolEntry {
+  std::unique_ptr<ExposureEvaluator> eval;
+  std::size_t active_count = 0;
+  std::size_t ghost_count = 0;
+  std::uint64_t last_used = 0;
+};
+
+// Resident evaluators keyed by shard key. Exact-refresh re-entry requires
+// identical geometry; within a session the driver guarantees it, and the
+// count check below catches a mismatched stream defensively (rebuilding is
+// always correct, just slower).
+class EvaluatorPool {
+ public:
+  /// The slot for this job's shard, or null when pooling is off. An entry
+  /// whose recorded geometry does not match the job is dropped first.
+  std::unique_ptr<ExposureEvaluator>* slot_for(const wire::ShardJob& job,
+                                               int budget) {
+    if (budget <= 0) return nullptr;
+    if (job.session_id != session_) {
+      entries_.clear();
+      session_ = job.session_id;
+    }
+    PoolEntry& e = entries_[job.shard_key];
+    if (e.eval && (e.active_count != job.active.size() ||
+                   e.ghost_count != job.ghosts.size())) {
+      e.eval.reset();
+    }
+    e.active_count = job.active.size();
+    e.ghost_count = job.ghosts.size();
+    return &e.eval;
+  }
+
+  /// Post-job bookkeeping: stamp recency and evict LRU residents (never the
+  /// just-used shard) until the pool fits the budget.
+  void settle(std::uint64_t shard_key, int budget) {
+    entries_[shard_key].last_used = ++tick_;
+    for (;;) {
+      std::size_t resident = 0;
+      std::uint64_t victim = 0;
+      std::uint64_t victim_used = 0;
+      bool have_victim = false;
+      for (const auto& [key, e] : entries_) {
+        if (!e.eval) continue;
+        ++resident;
+        if (key == shard_key) continue;
+        if (!have_victim || e.last_used < victim_used ||
+            (e.last_used == victim_used && key > victim)) {
+          have_victim = true;
+          victim = key;
+          victim_used = e.last_used;
+        }
+      }
+      if (resident <= static_cast<std::size_t>(budget) || !have_victim) return;
+      entries_[victim].eval.reset();
+      ++evictions_;
+    }
+  }
+
+  std::uint32_t resident() const {
+    std::uint32_t n = 0;
+    for (const auto& [key, e] : entries_) n += e.eval != nullptr;
+    return n;
+  }
+  std::uint32_t evictions() const { return evictions_; }
+
+ private:
+  std::unordered_map<std::uint64_t, PoolEntry> entries_;
+  std::uint64_t session_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint32_t evictions_ = 0;
+};
+
+int run(int jobs_fd, int results_fd, int budget_override) {
+  EvaluatorPool pool;
+  wire::Frame frame;
+  std::uint64_t served = 0;
+  while (wire::read_frame(jobs_fd, &frame)) {
+    if (frame.type != wire::MsgType::kShardJob)
+      throw DataError("pec_worker: expected a shard job frame");
+    const wire::ShardJob job = wire::decode_shard_job(frame.payload);
+    const int budget =
+        budget_override >= 0 ? budget_override : job.options.resident_shard_budget;
+
+    wire::ShardResult result =
+        solve_shard_job(job, pool.slot_for(job, budget));
+    if (budget > 0) pool.settle(job.shard_key, budget);
+    result.pool_resident = pool.resident();
+    result.pool_evictions = pool.evictions();
+    wire::write_frame(results_fd, wire::MsgType::kShardResult,
+                      wire::encode(result));
+    ++served;
+  }
+  std::cerr << "pec_worker: served " << served << " job(s), "
+            << pool.resident() << " evaluator(s) resident, "
+            << pool.evictions() << " eviction(s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jobs_path;
+  std::string results_path;
+  int budget_override = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--jobs" && has_value) {
+      jobs_path = argv[++i];
+    } else if (arg == "--results" && has_value) {
+      results_path = argv[++i];
+    } else if (arg == "--pool-budget" && has_value) {
+      budget_override = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: pec_worker [--jobs PATH] [--results PATH]"
+                   " [--pool-budget N]\n";
+      return 2;
+    }
+  }
+
+  int jobs_fd = STDIN_FILENO;
+  int results_fd = STDOUT_FILENO;
+  if (!jobs_path.empty()) {
+    jobs_fd = ::open(jobs_path.c_str(), O_RDONLY);
+    if (jobs_fd < 0) {
+      std::cerr << "pec_worker: cannot open jobs file: " << jobs_path << "\n";
+      return 2;
+    }
+  }
+  if (!results_path.empty()) {
+    results_fd = ::open(results_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (results_fd < 0) {
+      std::cerr << "pec_worker: cannot open results file: " << results_path << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    return run(jobs_fd, results_fd, budget_override);
+  } catch (const std::exception& e) {
+    std::cerr << "pec_worker: " << e.what() << "\n";
+    return 1;
+  }
+}
