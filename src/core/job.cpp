@@ -61,6 +61,9 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
          result.pec_iterations = pec.iterations;
          result.pec_shards = pec.shards;
          result.pec_workers = pec.workers;
+         result.pec_worker_restarts = pec.worker_restarts;
+         result.pec_reassigned_jobs = pec.reassigned_jobs;
+         result.pec_degraded_to_inprocess = pec.degraded_to_inprocess;
          // Sharded solves report per-round wall clock; surface each round
          // (and the final measurement pass, when one ran) as its own stage
          // so the halo-exchange cost is visible in profiles. These land

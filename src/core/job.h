@@ -70,6 +70,15 @@ struct PrepResult {
   int pec_workers = 0;  ///< worker processes of the distributed solve
                         ///< (pec.worker_count > 0); 0 = in-process
 
+  /// Distributed-solve fault accounting (all zero/false on a fault-free or
+  /// in-process run): workers respawned, shard jobs re-enqueued after a
+  /// worker failure, and whether restart exhaustion forced part of the solve
+  /// back in-process. Recovery replays identical jobs, so nonzero values
+  /// flag operational trouble — never a difference in the doses.
+  int pec_worker_restarts = 0;
+  int pec_reassigned_jobs = 0;
+  bool pec_degraded_to_inprocess = false;
+
   std::vector<MachineEstimate> estimates;
 
   /// Wall-clock per executed stage, in execution order. Stage names:

@@ -109,6 +109,22 @@ struct PecOptions {
   /// the current executable.
   std::string worker_path;
 
+  /// Distributed solves only: base per-job deadline in milliseconds. A worker
+  /// that has not produced a job's result frame this long after the job was
+  /// sent (scaled up for large shards) is declared hung, killed, and its
+  /// unfinished jobs are reassigned — the supervisor's only defense against a
+  /// worker that wedges without exiting. 0 (the default) resolves to
+  /// $EBL_WORKER_TIMEOUT_MS, else 60000; < 0 disables deadlines entirely
+  /// (crashed workers are still detected via EOF on their result pipe).
+  double worker_timeout_ms = 0.0;
+
+  /// Distributed solves only: how many times each worker slot may be
+  /// respawned after a crash, hang, or corrupt result frame before the slot
+  /// is abandoned. When every slot is dead and out of budget, the round
+  /// degrades to solving the remaining jobs in-process (bitwise-identical,
+  /// just slower) instead of failing the solve.
+  int worker_max_restarts = 2;
+
   ExposureOptions exposure;
 };
 
@@ -134,6 +150,18 @@ struct PecResult {
   /// Worker processes the distributed solve ran on (0 = in-process). The
   /// resident/eviction counters above then aggregate the workers' own pools.
   int workers = 0;
+
+  /// Distributed: worker processes respawned after a crash, hang, or corrupt
+  /// result frame. 0 on a fault-free run.
+  int worker_restarts = 0;
+  /// Distributed: shard jobs that had to be re-enqueued (to a respawned or
+  /// surviving worker, or solved in-process) because their worker failed.
+  /// Recovery replays the identical job against the identical round snapshot,
+  /// so reassignment never changes a bit of the result.
+  int reassigned_jobs = 0;
+  /// Distributed: true when restart budgets ran out and at least part of a
+  /// round fell back to solving jobs in-process.
+  bool degraded_to_inprocess = false;
 
   /// Aggregated long-range refresh accounting across every evaluator the
   /// solve used (the one global evaluator, or all shard evaluators summed in

@@ -13,6 +13,7 @@
 
 #include "geom/raster.h"
 #include "pec/exposure.h"
+#include "pec/supervisor.h"
 #include "pec/wire.h"
 #include "util/contracts.h"
 #include "util/fft.h"
@@ -416,15 +417,17 @@ class InProcessRunner : public ShardRunner {
   int evictions_ = 0;
 };
 
-// The multi-process execution path: a pool of pec_worker processes, shard
-// jobs framed over their stdin and results read back off their stdout
-// (src/pec/wire.h). Shards stick to workers (slot mod W) so each worker's
-// resident evaluator pool keeps hitting across halo-exchange rounds — the
-// set_background_doses refresh protocol, spoken over the wire. Each busy
-// worker gets one writer and one reader thread per sweep, so results stream
-// back while later jobs are still being serialized and no pipe buffer can
-// deadlock. Results land in per-slot cells: bitwise-deterministic
-// regardless of process scheduling.
+// The multi-process execution path: a supervised pool of pec_worker
+// processes (pec/supervisor.h), shard jobs framed over their stdin and
+// results read back off their stdout (src/pec/wire.h). Shards stick to
+// workers (slot mod W) so each worker's resident evaluator pool keeps
+// hitting across halo-exchange rounds — the set_background_doses refresh
+// protocol, spoken over the wire. The supervisor owns liveness: per-job
+// deadlines, crash detection, bounded restart, reassignment of a failed
+// worker's jobs within the round, and — when every slot is gone —
+// finishing the round in-process. Recovery never changes a bit: every path
+// replays the identical pure job, and results land in disjoint per-slot
+// cells regardless of which worker (or no worker) produced them.
 class DistributedRunner : public ShardRunner {
  public:
   DistributedRunner(const ShotList& shots, const Psf& psf, const PecOptions& options,
@@ -450,87 +453,58 @@ class DistributedRunner : public ShardRunner {
     static std::atomic<std::uint64_t> counter{0};
     session_ = (static_cast<std::uint64_t>(::getpid()) << 32) | ++counter;
 
-    pool_ = std::make_unique<ProcessPool>(std::vector<std::string>{path},
-                                          workers_n_);
+    SupervisorConfig cfg;
+    cfg.argv = {path};
+    cfg.workers = workers_n_;
+    cfg.timeout_ms = options.worker_timeout_ms;
+    cfg.max_restarts = options.worker_max_restarts;
+    cfg.fallback_threads = options.exposure.threads;
+    supervisor_ = std::make_unique<WorkerSupervisor>(std::move(cfg));
     worker_resident_.assign(static_cast<std::size_t>(workers_n_), 0);
     worker_evictions_.assign(static_cast<std::size_t>(workers_n_), 0);
   }
 
   ~DistributedRunner() override {
-    // Error-path teardown; finish() already cleared the pool on success.
-    if (pool_) pool_->terminate_all();
+    // Error-path teardown; finish() already shut the pool down on success.
+    if (supervisor_) supervisor_->terminate_all();
   }
 
   void sweep(const SweepCtx& ctx) override {
     const std::vector<std::uint8_t>& will_run = *ctx.will_run;
     const std::vector<std::uint8_t>& self_dirty = *ctx.self_dirty;
-    // Sticky deterministic assignment: shard slot -> worker slot % W.
-    std::vector<std::vector<std::size_t>> batch(
-        static_cast<std::size_t>(workers_n_));
-    for (std::size_t s = 0; s < L_.count; ++s) {
-      if (will_run[s]) batch[s % static_cast<std::size_t>(workers_n_)].push_back(s);
-    }
+    std::vector<std::size_t> slots;
+    for (std::size_t s = 0; s < L_.count; ++s)
+      if (will_run[s]) slots.push_back(s);
+    if (slots.empty()) return;
 
-    std::vector<std::thread> threads;
-    std::vector<std::exception_ptr> errors(2 * static_cast<std::size_t>(workers_n_));
-    for (int w = 0; w < workers_n_; ++w) {
-      const std::vector<std::size_t>& slots = batch[static_cast<std::size_t>(w)];
-      if (slots.empty()) continue;
-      Subprocess& proc = pool_->worker(static_cast<std::size_t>(w));
-      // Writer: serialize and send this worker's jobs in slot order.
-      threads.emplace_back([&, w] {
-        try {
-          for (const std::size_t s : slots) {
-            const wire::ShardJob job = make_job(
-                shots_, psf_, wopt_, L_, s, *ctx.doses, ctx.correct, ctx.tol,
-                ctx.allow_optimistic,
-                /*reset_all=*/self_dirty[s] != 0 || ctx.force_reset,
-                wopt_.resident_shard_budget > 0, session_);
-            wire::write_frame(proc.stdin_fd(), wire::MsgType::kShardJob,
-                              wire::encode(job));
-          }
-        } catch (...) {
-          errors[2 * static_cast<std::size_t>(w)] = std::current_exception();
-          // Unblock the paired reader: EOF on stdin makes the worker exit,
-          // which EOFs its stdout. Without this a writer failure whose
-          // worker is still alive would leave the reader waiting forever
-          // for results of jobs that were never sent.
-          proc.close_stdin();
-        }
-      });
-      // Reader: results come back in job order; apply each into its own
-      // slot's cells (disjoint across workers, so no synchronization).
-      threads.emplace_back([&, w] {
-        try {
-          for (const std::size_t s : slots) {
-            wire::Frame frame;
-            if (!wire::read_frame(proc.stdout_fd(), &frame))
-              throw DataError("sharded PEC: worker exited mid-round");
-            if (frame.type != wire::MsgType::kShardResult)
-              throw DataError("sharded PEC: expected a shard result frame");
-            const wire::ShardResult r = wire::decode_shard_result(frame.payload);
-            if (r.shard_key != s)
-              throw DataError("sharded PEC: result for the wrong shard");
-            (*ctx.outcomes)[s] = apply_result(L_, s, r, ctx.next, ctx.changed);
+    supervisor_->run_batch(
+        slots.size(),
+        // Sticky deterministic assignment: shard slot -> worker slot % W
+        // (the supervisor redeals jobs of dead slots).
+        [&](std::size_t i) { return slots[i]; },
+        // Jobs are pure functions of the round-start snapshot, so a retry
+        // rebuilds the identical bytes — which is why recovery is bitwise
+        // invisible.
+        [&](std::size_t i) {
+          const std::size_t s = slots[i];
+          return make_job(shots_, psf_, wopt_, L_, s, *ctx.doses, ctx.correct,
+                          ctx.tol, ctx.allow_optimistic,
+                          /*reset_all=*/self_dirty[s] != 0 || ctx.force_reset,
+                          wopt_.resident_shard_budget > 0, session_);
+        },
+        // Results apply into per-slot cells (disjoint across concurrent
+        // readers, so no synchronization). A wrong-shard result throws,
+        // which the supervisor treats as a worker fault.
+        [&](std::size_t i, int w, const wire::ShardResult& r) {
+          const std::size_t s = slots[i];
+          if (r.shard_key != s)
+            throw DataError("sharded PEC: result for the wrong shard");
+          (*ctx.outcomes)[s] = apply_result(L_, s, r, ctx.next, ctx.changed);
+          if (w >= 0) {
             worker_resident_[static_cast<std::size_t>(w)] = r.pool_resident;
             worker_evictions_[static_cast<std::size_t>(w)] = r.pool_evictions;
           }
-        } catch (...) {
-          errors[2 * static_cast<std::size_t>(w) + 1] = std::current_exception();
-          // Mirrored unblock: with the reader gone, a worker blocked on a
-          // full stdout pipe stops draining stdin and the paired writer
-          // would block forever. Killing the worker surfaces EPIPE there.
-          proc.terminate();
-        }
-      });
-    }
-    for (std::thread& t : threads) t.join();
-    for (const std::exception_ptr& e : errors) {
-      if (e) {
-        pool_->terminate_all();
-        std::rethrow_exception(e);
-      }
-    }
+        });
   }
 
   void finish(PecResult* result) override {
@@ -539,16 +513,15 @@ class DistributedRunner : public ShardRunner {
       result->resident_shards += static_cast<int>(r);
     for (const std::uint32_t e : worker_evictions_)
       result->shard_evictions += static_cast<int>(e);
-    // Orderly shutdown: EOF on stdin, workers exit 0. Anything else means a
-    // worker failed after its last result — surface it, the solve cannot be
-    // trusted to have been healthy.
-    const std::vector<int> statuses = pool_->shutdown();
-    pool_.reset();
-    for (const int status : statuses) {
-      if (status != 0)
-        throw DataError("sharded PEC: worker exited with status " +
-                        std::to_string(status));
-    }
+    const SupervisorStats& st = supervisor_->stats();
+    result->worker_restarts = st.restarts;
+    result->reassigned_jobs = st.reassigned_jobs;
+    result->degraded_to_inprocess = st.degraded_to_inprocess;
+    // Orderly shutdown. Every applied result was CRC-verified on arrival, so
+    // a worker that exits dirty *after* its last result is a diagnostic (the
+    // supervisor logs it), not a reason to fail a finished solve.
+    supervisor_->shutdown();
+    supervisor_.reset();
   }
 
  private:
@@ -559,7 +532,7 @@ class DistributedRunner : public ShardRunner {
   PecOptions wopt_;  ///< options as sent to workers (per-worker threads)
   int workers_n_ = 0;
   std::uint64_t session_ = 0;
-  std::unique_ptr<ProcessPool> pool_;
+  std::unique_ptr<WorkerSupervisor> supervisor_;
   std::vector<std::uint32_t> worker_resident_;
   std::vector<std::uint32_t> worker_evictions_;
 };

@@ -1,0 +1,304 @@
+#include "pec/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include <signal.h>
+
+#include "pec/sharded.h"
+#include "pec/wire.h"
+#include "util/contracts.h"
+#include "util/parallel.h"
+
+namespace ebl {
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+clock_t_::time_point deadline_after(clock_t_::time_point from, double ms) {
+  if (ms <= 0) return clock_t_::time_point::max();
+  return from + std::chrono::duration_cast<clock_t_::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+double resolve_worker_timeout_ms(double option_value) {
+  if (option_value != 0.0) return option_value;
+  if (const char* env = std::getenv("EBL_WORKER_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0') return v;
+  }
+  return 60000.0;
+}
+
+// Per-worker, per-attempt shared state between the writer thread, the reader
+// thread, and the post-join accounting. `sent` is the release/acquire
+// handoff: the writer publishes sent_at[k] and timeout_ms[k] before bumping
+// it, so the reader may read both for any k < sent without locks.
+struct WorkerSupervisor::Attempt {
+  std::vector<std::size_t> jobs;  ///< batch job indices, send order
+  std::atomic<std::size_t> sent{0};
+  std::atomic<bool> failed{false};
+  std::vector<clock_t_::time_point> sent_at;
+  std::vector<double> timeout_ms;
+  std::mutex mu;
+  std::string error;  ///< first failure wins; guarded by mu
+
+  explicit Attempt(std::vector<std::size_t> j)
+      : jobs(std::move(j)), sent_at(jobs.size()), timeout_ms(jobs.size(), 0.0) {}
+
+  void fail(const std::string& what) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!failed.exchange(true)) error = what;
+  }
+
+  std::string first_error() {
+    std::lock_guard<std::mutex> lock(mu);
+    return error;
+  }
+};
+
+WorkerSupervisor::WorkerSupervisor(SupervisorConfig config)
+    : argv_(std::move(config.argv)),
+      timeout_ms_(resolve_worker_timeout_ms(config.timeout_ms)),
+      max_restarts_(std::max(0, config.max_restarts)),
+      fallback_threads_(config.fallback_threads) {
+  expects(!argv_.empty(), "WorkerSupervisor: empty worker argv");
+  expects(config.workers > 0, "WorkerSupervisor: need at least one worker");
+  workers_.reserve(static_cast<std::size_t>(config.workers));
+  for (int i = 0; i < config.workers; ++i)
+    workers_.push_back(Subprocess::spawn(argv_));
+  alive_.assign(workers_.size(), 1);
+  restarts_used_.assign(workers_.size(), 0);
+}
+
+WorkerSupervisor::~WorkerSupervisor() { terminate_all(); }
+
+double WorkerSupervisor::timeout_for_ms(std::size_t job_shots) const {
+  if (timeout_ms_ <= 0) return 0.0;  // deadlines disabled
+  return timeout_ms_ * (1.0 + static_cast<double>(job_shots) / 50000.0);
+}
+
+std::size_t WorkerSupervisor::live_count() const {
+  std::size_t n = 0;
+  for (const std::uint8_t a : alive_) n += a;
+  return n;
+}
+
+void WorkerSupervisor::probe_liveness() {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!alive_[w]) continue;
+    if (const std::optional<int> status = workers_[w].try_wait()) {
+      ++stats_.failures;
+      handle_failure(w, "worker exited between batches (status " +
+                            std::to_string(*status) + ")");
+    }
+  }
+}
+
+void WorkerSupervisor::handle_failure(std::size_t w, const std::string& error) {
+  std::fprintf(stderr,
+               "sharded PEC: worker %zu failed (%s); restarts used %d/%d\n", w,
+               error.c_str(), restarts_used_[w], max_restarts_);
+  // Reap whatever is left of the process. terminate() is a no-op when the
+  // failure path (or try_wait) already reaped it.
+  workers_[w].terminate();
+  if (restarts_used_[w] >= max_restarts_) {
+    alive_[w] = 0;
+    return;
+  }
+  // Exponential backoff before the respawn: a worker dying instantly (bad
+  // node, OOM loop) must not turn the supervisor into a fork bomb.
+  const int shift = std::min(restarts_used_[w], 7);
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      std::min<long>(10L << shift, 1000L)));
+  try {
+    workers_[w] = Subprocess::spawn(argv_);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sharded PEC: respawn of worker %zu failed (%s)\n", w,
+                 e.what());
+    alive_[w] = 0;
+    return;
+  }
+  ++restarts_used_[w];
+  ++stats_.restarts;
+}
+
+void WorkerSupervisor::run_batch(std::size_t n, const Prefer& prefer,
+                                 const MakeJob& make_job, const Apply& apply) {
+  const std::size_t nw = workers_.size();
+  std::vector<std::uint8_t> done(n, 0);
+  std::vector<std::size_t> remaining;
+  remaining.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) remaining.push_back(i);
+
+  while (!remaining.empty()) {
+    if (!degraded_) probe_liveness();
+    if (degraded_ || live_count() == 0) {
+      // Out of workers: finish the round on the driver's own threads. The
+      // jobs are the same pure jobs — slower, never different.
+      if (!degraded_) {
+        degraded_ = true;
+        stats_.degraded_to_inprocess = true;
+        std::fprintf(stderr,
+                     "sharded PEC: no live workers left; degrading %zu "
+                     "job(s) to in-process solves\n",
+                     remaining.size());
+      }
+      parallel_for(
+          remaining.size(),
+          [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t k = i0; k < i1; ++k) {
+              const std::size_t i = remaining[k];
+              const wire::ShardJob job = make_job(i);
+              apply(i, -1, solve_shard_job(job, nullptr));
+              done[i] = 1;
+            }
+          },
+          fallback_threads_);
+      return;
+    }
+
+    // Deal the remaining jobs: sticky preferred slot when it is live, else
+    // round-robin over the live slots in job order (deterministic — though
+    // determinism of the *doses* never depends on placement).
+    std::vector<std::size_t> live_slots;
+    for (std::size_t w = 0; w < nw; ++w)
+      if (alive_[w]) live_slots.push_back(w);
+    std::vector<std::vector<std::size_t>> batch(nw);
+    std::size_t rr = 0;
+    for (const std::size_t i : remaining) {
+      std::size_t w = prefer(i) % nw;
+      if (!alive_[w]) w = live_slots[rr++ % live_slots.size()];
+      batch[w].push_back(i);
+    }
+
+    // One writer + one reader thread per busy worker, exactly as the
+    // fault-oblivious driver ran them — results stream while later jobs
+    // serialize — but with every read under a deadline and every exception
+    // absorbed into the attempt instead of thrown through a running thread.
+    std::vector<std::unique_ptr<Attempt>> attempts(nw);
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < nw; ++w) {
+      if (batch[w].empty()) continue;
+      attempts[w] = std::make_unique<Attempt>(std::move(batch[w]));
+      Attempt& at = *attempts[w];
+      Subprocess& proc = workers_[w];
+
+      threads.emplace_back([&at, &proc, &make_job, this] {
+        try {
+          for (std::size_t k = 0; k < at.jobs.size(); ++k) {
+            if (at.failed.load(std::memory_order_acquire)) break;
+            const wire::ShardJob job = make_job(at.jobs[k]);
+            at.timeout_ms[k] =
+                timeout_for_ms(job.active.size() + job.ghosts.size());
+            at.sent_at[k] = clock_t_::now();
+            wire::write_frame(proc.stdin_fd(), wire::MsgType::kShardJob,
+                              wire::encode(job));
+            at.sent.store(k + 1, std::memory_order_release);
+          }
+        } catch (const std::exception& e) {
+          at.fail(std::string("sending a job: ") + e.what());
+          // Unblock the paired reader: EOF on stdin makes a healthy worker
+          // finish its queue and exit, which EOFs its stdout.
+          proc.close_stdin();
+        }
+      });
+
+      threads.emplace_back([&at, &proc, &apply, &done, w, this] {
+        try {
+          // `progress` is when this worker last gave evidence of life: the
+          // attempt start, then each result. Job k's processing cannot begin
+          // before both its send completed and job k-1's result came back,
+          // so its deadline runs from whichever is later.
+          clock_t_::time_point progress = clock_t_::now();
+          for (std::size_t k = 0; k < at.jobs.size(); ++k) {
+            while (at.sent.load(std::memory_order_acquire) <= k) {
+              if (at.failed.load(std::memory_order_acquire)) return;
+              if (timeout_ms_ > 0 &&
+                  clock_t_::now() > deadline_after(progress, timeout_ms_))
+                throw TimeoutError(
+                    "worker stopped accepting jobs (stdin pipe stalled)");
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            const auto deadline = deadline_after(
+                std::max(progress, at.sent_at[k]), at.timeout_ms[k]);
+            wire::Frame frame;
+            if (!wire::read_frame(proc.stdout_fd(), &frame, deadline))
+              throw DataError("worker exited mid-round");
+            if (frame.type != wire::MsgType::kShardResult)
+              throw DataError("expected a shard result frame");
+            const wire::ShardResult r = wire::decode_shard_result(frame.payload);
+            apply(at.jobs[k], static_cast<int>(w), r);
+            done[at.jobs[k]] = 1;
+            progress = clock_t_::now();
+          }
+        } catch (const std::exception& e) {
+          at.fail(std::string("reading a result: ") + e.what());
+          // Unblock the paired writer: killing the worker closes its end of
+          // the stdin pipe, so a writer blocked on a full pipe gets EPIPE.
+          // Reap + fd teardown stay with the post-join failure path (no
+          // cross-thread fd races).
+          if (proc.pid() > 0) ::kill(proc.pid(), SIGKILL);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (std::size_t w = 0; w < nw; ++w) {
+      if (!attempts[w] || !attempts[w]->failed.load()) continue;
+      ++stats_.failures;
+      int lost = 0;
+      for (const std::size_t i : attempts[w]->jobs) lost += done[i] ? 0 : 1;
+      stats_.reassigned_jobs += lost;
+      handle_failure(w, attempts[w]->first_error());
+    }
+
+    std::vector<std::size_t> still;
+    for (const std::size_t i : remaining)
+      if (!done[i]) still.push_back(i);
+    remaining = std::move(still);
+  }
+}
+
+void WorkerSupervisor::shutdown() {
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    if (alive_[w]) workers_[w].close_stdin();
+  // Bounded drain: a worker that ignores EOF must not stall the solve's
+  // epilogue. All results were already delivered and CRC-checked, so a dirty
+  // exit here is diagnostic, not a correctness problem — log it and move on.
+  const auto deadline = deadline_after(clock_t_::now(), 5000.0);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!alive_[w]) continue;
+    std::optional<int> status;
+    while (!(status = workers_[w].try_wait()) && clock_t_::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (!status) {
+      std::fprintf(stderr,
+                   "sharded PEC: worker %zu ignored shutdown; killing it\n", w);
+      workers_[w].terminate();
+    } else if (*status != 0) {
+      std::fprintf(stderr,
+                   "sharded PEC: worker %zu exited with status %d at shutdown\n",
+                   w, *status);
+    }
+    alive_[w] = 0;
+  }
+  workers_.clear();
+  alive_.clear();
+}
+
+void WorkerSupervisor::terminate_all() {
+  for (Subprocess& w : workers_) w.terminate();
+  workers_.clear();
+  alive_.clear();
+}
+
+}  // namespace ebl

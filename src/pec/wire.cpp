@@ -1,5 +1,6 @@
 #include "pec/wire.h"
 
+#include <array>
 #include <bit>
 #include <cstring>
 #include <limits>
@@ -112,6 +113,8 @@ void put_options(Writer& w, const PecOptions& o) {
   w.u8(o.density_warm_start ? 1 : 0);
   w.i32(o.resident_shard_budget);
   w.i32(o.worker_count);
+  w.f64(o.worker_timeout_ms);
+  w.i32(o.worker_max_restarts);
   const ExposureOptions& e = o.exposure;
   w.f64(e.long_range_threshold);
   w.f64(e.pixels_per_sigma);
@@ -139,6 +142,8 @@ PecOptions get_options(Reader& r) {
   o.density_warm_start = r.boolean();
   o.resident_shard_budget = r.i32();
   o.worker_count = r.i32();
+  o.worker_timeout_ms = r.f64();
+  o.worker_max_restarts = r.i32();
   ExposureOptions& e = o.exposure;
   e.long_range_threshold = r.f64();
   e.pixels_per_sigma = r.f64();
@@ -321,9 +326,42 @@ std::pair<MsgType, std::uint64_t> parse_frame_header(std::string_view header) {
   return {static_cast<MsgType>(type), r.u64()};
 }
 
+std::uint32_t crc32(std::string_view data) {
+  // IEEE 802.3 reflected CRC-32, table computed once. No dependency, ~1 GB/s
+  // byte-at-a-time — frame payloads are far smaller than the solves they
+  // describe, so the trailer cost is noise.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string encode_framed(MsgType type, std::string_view payload) {
+  std::string msg = encode_frame_header(type, payload.size());
+  msg.append(payload);
+  Writer trailer;
+  trailer.u32(crc32(payload));
+  msg.append(trailer.buf);
+  return msg;
+}
+
 bool read_frame(int fd, Frame* out) {
+  return read_frame(fd, out, std::chrono::steady_clock::time_point::max());
+}
+
+bool read_frame(int fd, Frame* out,
+                std::chrono::steady_clock::time_point deadline) {
   char header[kFrameHeaderSize];
-  if (!read_exact(fd, header, sizeof(header))) return false;  // clean EOF
+  if (!read_exact(fd, header, sizeof(header), deadline)) return false;  // clean EOF
   const auto [type, size] = parse_frame_header({header, sizeof(header)});
   // Sanity cap well above any real shard job (a 500k-shot shard is ~16 MB):
   // a corrupted length field must fail loudly, not drive a huge allocation.
@@ -331,14 +369,19 @@ bool read_frame(int fd, Frame* out) {
     throw DataError("wire: implausible payload size " + std::to_string(size));
   out->type = type;
   out->payload.resize(static_cast<std::size_t>(size));
-  if (size > 0 && !read_exact(fd, out->payload.data(), out->payload.size()))
+  if (size > 0 && !read_exact(fd, out->payload.data(), out->payload.size(), deadline))
     throw DataError("wire: stream ended inside a payload");
+  char trailer[4];
+  if (!read_exact(fd, trailer, sizeof(trailer), deadline))
+    throw DataError("wire: stream ended before the frame checksum");
+  Reader r({trailer, sizeof(trailer)});
+  if (r.u32() != crc32(out->payload))
+    throw DataError("wire: frame checksum mismatch (corrupted payload)");
   return true;
 }
 
 void write_frame(int fd, MsgType type, std::string_view payload) {
-  std::string msg = encode_frame_header(type, payload.size());
-  msg.append(payload);
+  const std::string msg = encode_framed(type, payload);
   write_all(fd, msg.data(), msg.size());
 }
 

@@ -17,14 +17,19 @@
 //     byte-swap on the way in and out;
 //   - every frame carries a magic, a format version, and the payload length,
 //     so version skew and truncated streams fail loudly (DataError) rather
-//     than producing garbage doses.
+//     than producing garbage doses;
+//   - every frame ends in a CRC-32 trailer over the payload, so a corrupted
+//     byte anywhere in transit (a flaky pipe, a bad host, a buggy relay) is
+//     a DataError at the frame boundary instead of silently wrong doses.
 //
 // Framing: [magic u32]["EBLW" version u32][endian tag u32][type u32]
-// [payload length u64][payload]. Encoders produce payloads; read_frame /
-// write_frame add and verify the header. A stream is a plain concatenation
-// of frames — a file of jobs is a batch, a pipe of jobs is a session.
+// [payload length u64][payload][payload CRC-32 u32]. Encoders produce
+// payloads; read_frame / write_frame add and verify the header and trailer.
+// A stream is a plain concatenation of frames — a file of jobs is a batch, a
+// pipe of jobs is a session.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -34,7 +39,10 @@
 namespace ebl::wire {
 
 inline constexpr std::uint32_t kMagic = 0x574C4245;  // "EBLW" little-endian
-inline constexpr std::uint32_t kVersion = 1;
+/// v2: CRC-32 payload trailer appended to every frame. Readers reject skew
+/// in both directions — a v1 stream has no trailer and a v1 reader would
+/// misparse a v2 stream, so neither may be silently accepted.
+inline constexpr std::uint32_t kVersion = 2;
 /// Written as-is by every encoder; a reader that sees its bytes reversed is
 /// looking at a stream produced by a writer that did not follow the
 /// little-endian convention (or at garbage) and must reject it.
@@ -130,13 +138,29 @@ std::string encode_frame_header(MsgType type, std::uint64_t payload_size);
 inline constexpr std::size_t kFrameHeaderSize = 24;
 std::pair<MsgType, std::uint64_t> parse_frame_header(std::string_view header);
 
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of @p data — the per-frame
+/// payload checksum. Exposed so tests and the fault-injection harness can
+/// build (or deliberately break) frames by hand.
+std::uint32_t crc32(std::string_view data);
+
+/// One fully framed message: header + payload + CRC-32 trailer, as the
+/// bytes that write_frame puts on the stream.
+std::string encode_framed(MsgType type, std::string_view payload);
+
 /// Reads one frame from @p fd. Returns false on clean EOF at a frame
-/// boundary (no bytes read); throws DataError on a truncated header or
-/// payload, or a header that fails validation.
+/// boundary (no bytes read); throws DataError on a truncated header,
+/// payload, or trailer, a header that fails validation, or a payload whose
+/// CRC-32 does not match the trailer.
 bool read_frame(int fd, Frame* out);
 
-/// Writes one framed message to @p fd (header + payload, single logical
-/// write). Throws DataError on short writes / broken pipes.
+/// Deadline-aware read_frame: identical semantics, but throws TimeoutError
+/// (util/subprocess.h) once @p deadline passes before the full frame —
+/// header, payload, and trailer — has arrived. The worker supervisor's
+/// hung-worker detection reads results through this.
+bool read_frame(int fd, Frame* out, std::chrono::steady_clock::time_point deadline);
+
+/// Writes one framed message to @p fd (header + payload + CRC trailer,
+/// single logical write). Throws DataError on short writes / broken pipes.
 void write_frame(int fd, MsgType type, std::string_view payload);
 
 }  // namespace ebl::wire

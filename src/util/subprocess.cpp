@@ -1,11 +1,13 @@
 #include "util/subprocess.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <mutex>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -46,6 +48,48 @@ bool read_exact(int fd, void* data, std::size_t n) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("subprocess: read failed");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a record boundary
+      throw DataError("subprocess: stream ended mid-record");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* data, std::size_t n,
+                std::chrono::steady_clock::time_point deadline) {
+  using clock = std::chrono::steady_clock;
+  if (deadline == clock::time_point::max()) return read_exact(fd, data, n);
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    // Wait for readability (or hangup — the subsequent read returns 0 and
+    // the EOF semantics of the blocking variant apply) in bounded slices so
+    // the deadline is honored even when no byte ever arrives.
+    for (;;) {
+      const auto now = clock::now();
+      if (now >= deadline)
+        throw TimeoutError(got == 0
+                               ? "subprocess: read deadline exceeded"
+                               : "subprocess: read deadline exceeded mid-record");
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      const int slice = static_cast<int>(
+          std::min<std::chrono::milliseconds::rep>(left.count() + 1, 100));
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int rv = ::poll(&pfd, 1, slice);
+      if (rv < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("subprocess: poll failed");
+      }
+      if (rv > 0) break;  // readable (or HUP/ERR: the read below surfaces it)
+    }
     const ssize_t r = ::read(fd, p + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -145,6 +189,26 @@ int Subprocess::wait() {
   do {
     r = ::waitpid(pid_, &status, 0);
   } while (r < 0 && errno == EINTR);
+  pid_ = -1;
+  close_stdin();
+  if (out_ >= 0) {
+    ::close(out_);
+    out_ = -1;
+  }
+  if (r < 0) throw_errno("subprocess: waitpid failed");
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -1;
+}
+
+std::optional<int> Subprocess::try_wait() {
+  if (pid_ <= 0) return std::nullopt;
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == 0) return std::nullopt;  // still running
   pid_ = -1;
   close_stdin();
   if (out_ >= 0) {

@@ -11,13 +11,26 @@
 // makes pipe-buffer deadlock impossible regardless of job or result size.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include <sys/types.h>
 
+#include "util/contracts.h"
+
 namespace ebl {
+
+/// Thrown by the deadline-aware reads when the deadline passes before the
+/// requested bytes arrive. A DataError subtype so existing catch sites keep
+/// working, but distinguishable where the caller wants to treat a hung peer
+/// differently from a corrupt stream (the PEC worker supervisor does).
+class TimeoutError : public DataError {
+ public:
+  using DataError::DataError;
+};
 
 /// Writes exactly @p n bytes to @p fd, retrying short writes and EINTR.
 /// Throws DataError on any write error — including EPIPE: SIGPIPE is set to
@@ -30,6 +43,14 @@ void write_all(int fd, const void* data, std::size_t n);
 /// first byte. Throws DataError on EOF after a partial read, or a read
 /// error — a mid-record EOF is corruption, not a boundary.
 bool read_exact(int fd, void* data, std::size_t n);
+
+/// Deadline-aware read_exact: same semantics, but waits for readability via
+/// poll(2) and throws TimeoutError once @p deadline passes — the primitive
+/// under hung-worker detection (a peer that stops answering, or stalls
+/// mid-record, cannot block the caller forever). A deadline of
+/// time_point::max() degrades to the plain blocking read.
+bool read_exact(int fd, void* data, std::size_t n,
+                std::chrono::steady_clock::time_point deadline);
 
 /// One spawned child process with pipes on its stdin and stdout.
 /// Move-only; the destructor kills (SIGKILL) and reaps a child that is
@@ -63,6 +84,11 @@ class Subprocess {
   /// Blocks until the child exits and reaps it. Returns the exit code for a
   /// normal exit, or -signal when the child was killed by a signal.
   int wait();
+
+  /// Non-blocking liveness probe (waitpid WNOHANG): reaps and returns the
+  /// exit status (wait() semantics) when the child has exited; std::nullopt
+  /// while it is still running or after it was already reaped.
+  std::optional<int> try_wait();
 
   /// SIGKILLs a running child and reaps it. No-op when already waited.
   void terminate();

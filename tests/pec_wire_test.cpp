@@ -60,6 +60,8 @@ wire::ShardJob sample_job() {
   job.options.density_warm_start = false;
   job.options.resident_shard_budget = 5;
   job.options.worker_count = 3;
+  job.options.worker_timeout_ms = 1234.5;
+  job.options.worker_max_restarts = 7;
   job.options.exposure.pixels_per_sigma = 4.5;
   job.options.exposure.threads = 2;
   job.options.exposure.blur_backend = BlurBackend::kFft;
@@ -95,6 +97,8 @@ TEST(Wire, JobRoundTripIsBitExact) {
   EXPECT_EQ(back.options.dose_classes, job.options.dose_classes);
   EXPECT_EQ(back.options.density_warm_start, job.options.density_warm_start);
   EXPECT_EQ(back.options.worker_count, job.options.worker_count);
+  EXPECT_EQ(bits(back.options.worker_timeout_ms), bits(job.options.worker_timeout_ms));
+  EXPECT_EQ(back.options.worker_max_restarts, job.options.worker_max_restarts);
   EXPECT_EQ(back.options.exposure.blur_backend, job.options.exposure.blur_backend);
   EXPECT_EQ(bits(back.options.exposure.delta_threshold),
             bits(job.options.exposure.delta_threshold));
@@ -159,9 +163,14 @@ TEST(Wire, FrameHeaderRoundTripAndRejections) {
   bad[0] = 'X';
   EXPECT_THROW(wire::parse_frame_header(bad), DataError);
 
-  // Future format version.
+  // Version skew is rejected in both directions: a reader must not guess at
+  // a future layout, and a v1 stream has no CRC trailer — silently accepting
+  // it would misframe everything after the first payload.
   bad = h;
   bad[4] = static_cast<char>(wire::kVersion + 1);
+  EXPECT_THROW(wire::parse_frame_header(bad), DataError);
+  bad = h;
+  bad[4] = 1;  // the pre-CRC v1 format
   EXPECT_THROW(wire::parse_frame_header(bad), DataError);
 
   // Foreign-endian stream: the endian tag bytes arrive reversed.
@@ -239,6 +248,37 @@ TEST(Wire, ReadFrameStreamsAndDetectsTruncation) {
   ASSERT_EQ(::pipe(fds), 0);
   write_all(fds[1], header.data(), header.size());
   write_all(fds[1], p1.data(), p1.size() / 2);
+  ::close(fds[1]);
+  EXPECT_THROW(wire::read_frame(fds[0], &f), DataError);
+  ::close(fds[0]);
+}
+
+TEST(Wire, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value — pins the polynomial, reflection, and final
+  // XOR against every other CRC-32 implementation in the world.
+  EXPECT_EQ(wire::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(wire::crc32(""), 0x00000000u);
+}
+
+TEST(Wire, CorruptedPayloadByteRejectedByFrameChecksum) {
+  const std::string payload = wire::encode(sample_job());
+  std::string msg = wire::encode_framed(wire::MsgType::kShardJob, payload);
+  ASSERT_EQ(msg.size(), wire::kFrameHeaderSize + payload.size() + 4);
+
+  // Flip one payload byte; header and trailer stay honest. Only the CRC can
+  // catch this — the header parses fine and the length is right.
+  msg[wire::kFrameHeaderSize + payload.size() / 2] ^= 0x01;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  write_all(fds[1], msg.data(), msg.size());
+  ::close(fds[1]);
+  wire::Frame f;
+  EXPECT_THROW(wire::read_frame(fds[0], &f), DataError);
+  ::close(fds[0]);
+
+  // A stream that ends before the trailer is truncation, not a clean frame.
+  ASSERT_EQ(::pipe(fds), 0);
+  write_all(fds[1], msg.data(), msg.size() - 4);
   ::close(fds[1]);
   EXPECT_THROW(wire::read_frame(fds[0], &f), DataError);
   ::close(fds[0]);

@@ -17,22 +17,48 @@
 // long-lived worker starts seeing a different solve.
 //
 // Usage:
-//   pec_worker [--jobs PATH] [--results PATH] [--pool-budget N]
+//   pec_worker [--jobs PATH] [--results PATH] [--pool-budget N] [--fault PLAN]
 //
 //   --jobs PATH      read jobs from PATH instead of stdin
 //   --results PATH   write results to PATH instead of stdout
 //   --pool-budget N  cap the resident evaluator pool at N evaluators,
 //                    overriding each job's resident_shard_budget (manual /
 //                    debugging use; the driver sizes pools via the job)
+//   --fault PLAN     fault-injection plan (testing the supervisor; see below)
+//
+// Fault injection: the chaos half of the supervision contract is tested by
+// making real workers misbehave on purpose. A plan comes from --fault or the
+// EBL_FAULT_PLAN environment variable (the flag wins) as semicolon-separated
+// key=value directives:
+//
+//   crash-after=N     exit(3) without solving once N jobs have been served
+//   hang-after=N      stop responding (sleep forever) once N jobs served
+//   truncate-after=N  after serving N jobs, solve the next one but write only
+//                     half of the result frame, then exit(3)
+//   corrupt-after=N   after serving N jobs, flip one payload byte of the next
+//                     result frame (the CRC trailer stays for the clean
+//                     bytes, so the driver sees a checksum mismatch)
+//   slow-start=MS     sleep MS milliseconds before serving the first job
+//
+// Counters are per process lifetime: a respawned worker starts over, which
+// is exactly what lets crash-after=N make bounded progress per incarnation.
+// The injected faults sit at the process/wire boundary — they never touch
+// solve arithmetic — so a recovered run stays bitwise-identical to a
+// fault-free one (the property the fault tests pin down).
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include <fcntl.h>
 #include <unistd.h>
+
+#include "util/subprocess.h"
 
 #include "pec/exposure.h"
 #include "pec/sharded.h"
@@ -115,13 +141,68 @@ class EvaluatorPool {
   std::uint32_t evictions_ = 0;
 };
 
-int run(int jobs_fd, int results_fd, int budget_override) {
+// Parsed fault-injection plan (see the file comment). A count of UINT64_MAX
+// means "never".
+struct FaultPlan {
+  std::uint64_t crash_after = UINT64_MAX;
+  std::uint64_t hang_after = UINT64_MAX;
+  std::uint64_t truncate_after = UINT64_MAX;
+  std::uint64_t corrupt_after = UINT64_MAX;
+  std::uint64_t slow_start_ms = 0;
+
+  static FaultPlan parse(const std::string& spec) {
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t end = spec.find(';', pos);
+      if (end == std::string::npos) end = spec.size();
+      const std::string item = spec.substr(pos, end - pos);
+      pos = end + 1;
+      if (item.empty()) continue;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos)
+        throw DataError("pec_worker: bad fault directive (no '='): " + item);
+      const std::string key = item.substr(0, eq);
+      char* numend = nullptr;
+      const std::uint64_t value = std::strtoull(item.c_str() + eq + 1, &numend, 10);
+      if (numend == item.c_str() + eq + 1 || *numend != '\0')
+        throw DataError("pec_worker: bad fault count in: " + item);
+      if (key == "crash-after") {
+        plan.crash_after = value;
+      } else if (key == "hang-after") {
+        plan.hang_after = value;
+      } else if (key == "truncate-after") {
+        plan.truncate_after = value;
+      } else if (key == "corrupt-after") {
+        plan.corrupt_after = value;
+      } else if (key == "slow-start") {
+        plan.slow_start_ms = value;
+      } else {
+        throw DataError("pec_worker: unknown fault directive: " + key);
+      }
+    }
+    return plan;
+  }
+};
+
+int run(int jobs_fd, int results_fd, int budget_override, const FaultPlan& fault) {
+  if (fault.slow_start_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.slow_start_ms));
+  }
   EvaluatorPool pool;
   wire::Frame frame;
   std::uint64_t served = 0;
   while (wire::read_frame(jobs_fd, &frame)) {
     if (frame.type != wire::MsgType::kShardJob)
       throw DataError("pec_worker: expected a shard job frame");
+    if (served == fault.crash_after) {
+      std::cerr << "pec_worker: injected crash after " << served << " job(s)\n";
+      std::_Exit(3);
+    }
+    if (served == fault.hang_after) {
+      std::cerr << "pec_worker: injected hang after " << served << " job(s)\n";
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+    }
     const wire::ShardJob job = wire::decode_shard_job(frame.payload);
     const int budget =
         budget_override >= 0 ? budget_override : job.options.resident_shard_budget;
@@ -131,6 +212,29 @@ int run(int jobs_fd, int results_fd, int budget_override) {
     if (budget > 0) pool.settle(job.shard_key, budget);
     result.pool_resident = pool.resident();
     result.pool_evictions = pool.evictions();
+    if (served == fault.truncate_after) {
+      // Half a result frame, then death: the driver's reader must see a
+      // mid-record EOF (or a deadline), never a plausible partial result.
+      const std::string msg =
+          wire::encode_framed(wire::MsgType::kShardResult, wire::encode(result));
+      write_all(results_fd, msg.data(), msg.size() / 2);
+      std::cerr << "pec_worker: injected truncated frame after " << served
+                << " job(s)\n";
+      std::_Exit(3);
+    }
+    if (served == fault.corrupt_after) {
+      // One flipped payload byte under an honest CRC trailer: the driver
+      // must reject the frame on checksum, not apply garbage doses.
+      std::string msg =
+          wire::encode_framed(wire::MsgType::kShardResult, wire::encode(result));
+      msg[wire::kFrameHeaderSize + (msg.size() - wire::kFrameHeaderSize - 4) / 2] ^=
+          0x40;
+      std::cerr << "pec_worker: injected corrupt frame after " << served
+                << " job(s)\n";
+      write_all(results_fd, msg.data(), msg.size());
+      ++served;
+      continue;
+    }
     wire::write_frame(results_fd, wire::MsgType::kShardResult,
                       wire::encode(result));
     ++served;
@@ -147,6 +251,8 @@ int main(int argc, char** argv) {
   std::string jobs_path;
   std::string results_path;
   int budget_override = -1;
+  const char* fault_env = std::getenv("EBL_FAULT_PLAN");
+  std::string fault_spec = fault_env ? fault_env : "";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -156,9 +262,11 @@ int main(int argc, char** argv) {
       results_path = argv[++i];
     } else if (arg == "--pool-budget" && has_value) {
       budget_override = std::atoi(argv[++i]);
+    } else if (arg == "--fault" && has_value) {
+      fault_spec = argv[++i];  // the flag beats the environment
     } else {
       std::cerr << "usage: pec_worker [--jobs PATH] [--results PATH]"
-                   " [--pool-budget N]\n";
+                   " [--pool-budget N] [--fault PLAN]\n";
       return 2;
     }
   }
@@ -181,7 +289,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    return run(jobs_fd, results_fd, budget_override);
+    return run(jobs_fd, results_fd, budget_override,
+               FaultPlan::parse(fault_spec));
   } catch (const std::exception& e) {
     std::cerr << "pec_worker: " << e.what() << "\n";
     return 1;
