@@ -14,14 +14,21 @@ Design (what makes this noise-tolerant enough for CI):
     so typically only a subset matches — unmatched cases are reported and
     skipped, never failed.
   * By default only *dimensionless ratio* metrics are compared (any metric
-    whose name contains "speedup"). Those are measured same-host,
-    same-binary within one bench run, so they transfer between the committed
-    baseline's machine and the CI runner; absolute shots/sec or wall-clock
-    numbers do not, and comparing them across hosts would be pure noise.
-    --absolute additionally compares *_per_sec (higher is better) metrics —
-    useful locally on the machine the baseline was recorded on.
-  * A metric fails only when it drops by more than --tolerance (default 30%)
-    relative to the baseline. Improvements and small wobbles pass.
+    whose name contains "speedup" or "improvement"). Those are measured
+    same-host, same-binary within one bench run, so they transfer between
+    the committed baseline's machine and the CI runner; absolute shots/sec
+    or wall-clock numbers do not, and comparing them across hosts would be
+    pure noise. --absolute additionally compares *_per_sec (higher is
+    better) metrics — useful locally on the machine the baseline was
+    recorded on.
+  * Quality metrics are machine-independent, so they are always compared
+    absolutely: EPE percentiles (epe_*_p50/p99/max from BENCH_scenarios.json,
+    lower is better) fail when the fresh value exceeds the baseline by more
+    than --tolerance *and* by more than a 2 dbu absolute floor (sub-pixel
+    wobble on near-zero values is not a regression).
+  * A throughput metric fails only when it drops by more than --tolerance
+    (default 30%) relative to the baseline. Improvements and small wobbles
+    pass.
 
 Exit status: 0 = no regression (including "nothing comparable"), 1 = at
 least one metric regressed, 2 = bad invocation / unreadable input.
@@ -38,6 +45,7 @@ import sys
 # values for every identity key they share (and at least one such key) are
 # the same case in both files.
 IDENTITY_KEYS = (
+    "scenario",
     "shots",
     "iterations",
     "field_size_dbu",
@@ -73,13 +81,28 @@ def collect_cases(node, path=""):
             yield from collect_cases(item, path)
 
 
+# Quality never shrinks across hosts: any EPE percentile is compared on
+# every run. Values below this floor are within raster interpolation noise.
+EPE_ABS_FLOOR_DBU = 2.0
+
+
 def comparable_metrics(metrics, absolute):
     """Higher-is-better metrics worth guarding. Ratio metrics (name contains
-    'speedup') always; absolute throughput only on request."""
-    names = [k for k in metrics if "speedup" in k]
+    'speedup' or 'improvement') always; absolute throughput on request."""
+    names = [k for k in metrics if "speedup" in k or "improvement" in k]
     if absolute:
         names += [k for k in metrics if k.endswith("_per_sec")]
     return names
+
+
+def quality_metrics(metrics):
+    """Lower-is-better printed-quality metrics (EPE percentiles in dbu).
+    The *_improvement ratios are handled above as higher-is-better."""
+    return [
+        k for k in metrics
+        if k.startswith("epe_") and "improvement" not in k
+        and ("_p50" in k or "_p99" in k or "_max" in k)
+    ]
 
 
 def main():
@@ -129,14 +152,27 @@ def main():
                   f"{old:.3g} -> {new:.3g} ({-drop:+.1%})")
             if drop > args.tolerance:
                 regressions.append((path, ident, name, old, new))
+        for name in quality_metrics(metrics):
+            if name not in base or not isinstance(base[name], (int, float)):
+                continue
+            old, new = float(base[name]), float(metrics[name])
+            compared += 1
+            grew = (new - old) / old if old > 0 else 0.0
+            worse = new > old + EPE_ABS_FLOOR_DBU and (
+                old <= 0 or grew > args.tolerance)
+            status = "FAIL" if worse else "ok"
+            print(f"  [{status}] {path} ({ident}) {name}: "
+                  f"{old:.3g} -> {new:.3g} dbu")
+            if worse:
+                regressions.append((path, ident, name, old, new))
 
     print(f"check_bench_regression: {compared} metric(s) compared, "
           f"{len(regressions)} regression(s) beyond "
           f"{args.tolerance:.0%} ({args.baseline} vs {args.fresh})")
     if regressions:
-        print("Throughput regressed. If this change intentionally trades "
-              "speed (or the runner was just noisy), re-run or apply the "
-              "skip-bench-guard label.", file=sys.stderr)
+        print("Throughput or printed quality regressed. If this change "
+              "intentionally trades speed (or the runner was just noisy), "
+              "re-run or apply the skip-bench-guard label.", file=sys.stderr)
         return 1
     return 0
 

@@ -6,7 +6,8 @@
 //   layout   — hierarchical cell database + GDSII I/O
 //   fracture — polygon -> machine-shot decomposition + EBF records
 //   pec      — point-spread functions, exposure evaluation, dose correction
-//   sim      — resist models, exposure simulation, contours, CD metrics
+//   sim      — resist models, exposure simulation, contours, CD metrics,
+//              EPE scoring, and the machine-realistic scenario matrix
 //   machine  — writer timing models, field partitioning, distortion
 //   core     — workload generators and the end-to-end data-prep pipeline
 #pragma once
@@ -30,5 +31,7 @@
 #include "pec/exposure.h"
 #include "pec/psf.h"
 #include "pec/sharded.h"
+#include "sim/epe.h"
 #include "sim/exposure_sim.h"
 #include "sim/resist.h"
+#include "sim/scenarios.h"

@@ -99,6 +99,15 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
              {"vector", VectorScanWriter(options.vector_scan).write_time(job)});
          result.estimates.push_back({"vsb", VsbWriter(options.vsb).write_time(job)});
        }},
+      // Closed-loop verification: score where the final doses actually put
+      // the printed edges, against the geometry the job started from.
+      {"epe", options.epe.has_value() && options.pec_psf.has_value(),
+       [&] {
+         EpeOptions score = options.epe->score;
+         if (score.sim.threads == 0) score.sim.threads = options.threads;
+         result.epe = measure_epe(result.shots, *options.pec_psf, geometry,
+                                  options.epe->print_level, score);
+       }},
   };
 
   for (const Stage& stage : stages) {

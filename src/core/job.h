@@ -14,8 +14,23 @@
 #include "machine/field.h"
 #include "machine/writer.h"
 #include "pec/correction.h"
+#include "sim/epe.h"
 
 namespace ebl {
+
+/// Optional printed-result verification: simulate the final shot list with
+/// the PEC PSF and score edge-placement error against the input geometry
+/// (see sim/epe.h). This is the closed-loop quality stat — what the doses
+/// actually print — as opposed to the dose-space pec_final_error.
+struct PrepEpeOptions {
+  /// Exposure level treated as the print threshold (use
+  /// ResistModel::print_threshold() for a calibrated resist).
+  double print_level = 0.5;
+
+  /// Probe/simulation knobs. score.sim.threads == 0 inherits
+  /// PrepOptions::threads.
+  EpeOptions score;
+};
 
 struct PrepOptions {
   FractureOptions fracture;
@@ -34,6 +49,11 @@ struct PrepOptions {
 
   /// When > 0, shots are partitioned into exposure fields of this size.
   Coord field_size = 0;
+
+  /// When set (and pec_psf is set), the pipeline ends with an "epe" stage
+  /// scoring the final shots' printed edges against the input geometry;
+  /// the result lands in PrepResult::epe.
+  std::optional<PrepEpeOptions> epe;
 
   /// Machine models to estimate write time for (all three by default).
   RasterScanParams raster;
@@ -81,9 +101,14 @@ struct PrepResult {
 
   std::vector<MachineEstimate> estimates;
 
+  /// Printed edge-placement error of the final shot list (present when
+  /// PrepOptions::epe and pec_psf were both set).
+  std::optional<EpeStats> epe;
+
   /// Wall-clock per executed stage, in execution order. Stage names:
   /// "fracture", "pec_baseline" (global PEC only), "pec", "field_partition",
-  /// "write_time"; disabled stages are absent. Sharded PEC jobs additionally
+  /// "write_time", "epe" (when PrepOptions::epe is set); disabled stages are
+  /// absent. Sharded PEC jobs additionally
   /// record one "pec_round_N" entry per halo-exchange round plus
   /// "pec_measure" when a final measurement pass ran — sub-stages of "pec",
   /// listed just before it — so the exchange cost is visible in profiles.

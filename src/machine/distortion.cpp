@@ -110,4 +110,29 @@ DeflectionDistortion calibrate_affine(const DeflectionDistortion& d, int n,
   return residual;
 }
 
+void apply_distortion(ShotList& shots, const Box& field,
+                      const DeflectionDistortion& d, double sign) {
+  expects(!field.empty() && field.width() > 0 && field.height() > 0,
+          "apply_distortion: field frame must have positive extent");
+  const double cx = 0.5 * (static_cast<double>(field.lo.x) + field.hi.x);
+  const double cy = 0.5 * (static_cast<double>(field.lo.y) + field.hi.y);
+  const double hx = 0.5 * static_cast<double>(field.width());
+  const double hy = 0.5 * static_cast<double>(field.height());
+  for (Shot& s : shots) {
+    const Box bb = s.shape.bbox();
+    const double px = 0.5 * (static_cast<double>(bb.lo.x) + bb.hi.x);
+    const double py = 0.5 * (static_cast<double>(bb.lo.y) + bb.hi.y);
+    const auto [dx, dy] = d.displacement((px - cx) / hx, (py - cy) / hy);
+    const Coord ix = static_cast<Coord>(std::llround(sign * dx));
+    const Coord iy = static_cast<Coord>(std::llround(sign * dy));
+    if (ix == 0 && iy == 0) continue;
+    s.shape.y0 += iy;
+    s.shape.y1 += iy;
+    s.shape.xl0 += ix;
+    s.shape.xr0 += ix;
+    s.shape.xl1 += ix;
+    s.shape.xr1 += ix;
+  }
+}
+
 }  // namespace ebl

@@ -9,6 +9,7 @@
 
 #include <utility>
 
+#include "fracture/shot.h"
 #include "geom/box.h"
 
 namespace ebl {
@@ -40,5 +41,15 @@ double max_stitching_error(const DeflectionDistortion& d, int samples = 33);
 DeflectionDistortion calibrate_affine(const DeflectionDistortion& d, int n = 5,
                                       double noise_dbu = 0.0,
                                       std::uint64_t seed = 42);
+
+/// Translates every shot by the model displacement at its centroid, rounded
+/// to the database grid, with @p field mapping to normalized [-1, 1]²
+/// coordinates. sign = +1 applies the distortion (what the column does to
+/// the written pattern); sign = -1 applies it as a pre-compensating
+/// correction. An all-zero model is a bitwise no-op for either sign.
+/// Centroids outside the field extrapolate the model smoothly, so clipped
+/// straddlers at the frame are handled.
+void apply_distortion(ShotList& shots, const Box& field,
+                      const DeflectionDistortion& d, double sign = 1.0);
 
 }  // namespace ebl

@@ -210,8 +210,11 @@ inline double jacobi_updated_dose(double dose, double exposure, double update_to
 PecResult density_pec(const ShotList& shots, const Psf& psf,
                       const PecOptions& options = {});
 
-/// Snaps doses to @p classes discrete values spanning [min_dose, max_dose]
-/// of the observed range. Returns the number of distinct values used.
+/// Snaps doses to @p classes equally-spaced discrete values spanning the
+/// observed [min, max] dose range (a machine dose table). Returns the
+/// number of distinct values used. Contract details: a dose exactly on a
+/// class edge ties to the higher class; classes == 1 snaps everything to
+/// the range midpoint; a constant dose list is left unchanged.
 int quantize_doses(ShotList& shots, int classes);
 
 }  // namespace ebl

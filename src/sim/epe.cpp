@@ -1,0 +1,162 @@
+#include "sim/epe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+/// Nearest-rank percentile of a sorted vector (q in (0, 1]).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = sorted.size();
+  const auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  return sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// Signed distance from the probe point to the nearest print_level crossing
+/// of the exposure along the outward normal, or nullopt when no crossing
+/// lies inside [-window, +window]. Samples the bilinear raster uniformly at
+/// ~pixel/2 resolution and locates crossings by linear interpolation.
+std::optional<double> probe_crossing(const Raster& exposure, double level,
+                                     double px, double py, double nx, double ny,
+                                     double window) {
+  const double pix = static_cast<double>(exposure.pixel_size());
+  int steps = static_cast<int>(std::ceil(4.0 * window / pix));
+  steps = std::clamp(steps, 16, 512);
+  const double ds = 2.0 * window / steps;
+
+  std::optional<double> best;
+  double prev = exposure.sample(px - nx * window, py - ny * window) - level;
+  for (int i = 1; i <= steps; ++i) {
+    const double s = -window + ds * i;
+    const double cur = exposure.sample(px + nx * s, py + ny * s) - level;
+    if ((prev <= 0.0 && cur > 0.0) || (prev > 0.0 && cur <= 0.0)) {
+      // Crossing in (s - ds, s]: linear interpolation between the samples.
+      const double frac = prev / (prev - cur);
+      const double at = s - ds + frac * ds;
+      if (!best || std::abs(at) < std::abs(*best)) best = at;
+      if (best && std::abs(*best) <= ds) break;  // cannot get closer to 0
+    }
+    prev = cur;
+  }
+  return best;
+}
+
+}  // namespace
+
+void EpeAccumulator::add(double signed_epe, bool missing) {
+  values_.push_back(signed_epe);
+  if (missing) ++missing_;
+}
+
+EpeStats EpeAccumulator::finalize() const {
+  EpeStats stats;
+  stats.samples = values_.size();
+  stats.missing = missing_;
+  if (values_.empty()) return stats;
+  std::vector<double> abs_vals(values_.size());
+  double sum_abs = 0.0, sum_signed = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    abs_vals[i] = std::abs(values_[i]);
+    sum_abs += abs_vals[i];
+    sum_signed += values_[i];
+  }
+  std::sort(abs_vals.begin(), abs_vals.end());
+  stats.p50 = percentile(abs_vals, 0.50);
+  stats.p99 = percentile(abs_vals, 0.99);
+  stats.max = abs_vals.back();
+  stats.mean_abs = sum_abs / static_cast<double>(values_.size());
+  stats.mean_signed = sum_signed / static_cast<double>(values_.size());
+  return stats;
+}
+
+std::vector<EpeEdge> epe_edges(const PolygonSet& target) {
+  std::vector<EpeEdge> edges;
+  const PolygonSet merged = target.merged();
+  auto add_contour = [&edges](const SimplePolygon& contour) {
+    const auto pts = contour.points();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Point a = pts[i];
+      const Point b = pts[(i + 1) % pts.size()];
+      if (a.x != b.x || a.y != b.y) edges.push_back({a, b});
+    }
+  };
+  for (const Polygon& poly : merged.polygons()) {
+    add_contour(poly.outer());  // CCW: material left
+    for (const SimplePolygon& hole : poly.holes()) add_contour(hole);  // CW
+  }
+  return edges;
+}
+
+void score_epe(const Raster& exposure, double print_level,
+               const std::vector<EpeEdge>& edges, const EpeOptions& options,
+               EpeAccumulator& acc) {
+  expects(print_level > 0, "score_epe: print_level must be positive");
+  expects(options.search_window > 0, "score_epe: search_window must be positive");
+  const double pix = static_cast<double>(exposure.pixel_size());
+  const double step = options.sample_step > 0
+                          ? static_cast<double>(options.sample_step)
+                          : 2.0 * pix;
+  const double excl = options.corner_exclusion > 0
+                          ? static_cast<double>(options.corner_exclusion)
+                          : std::max(4.0 * pix, 100.0);
+  const double window = static_cast<double>(options.search_window);
+
+  for (const EpeEdge& e : edges) {
+    const double ex = static_cast<double>(e.b.x) - e.a.x;
+    const double ey = static_cast<double>(e.b.y) - e.a.y;
+    const double len = std::hypot(ex, ey);
+    if (len <= 0.0) continue;
+    const double dx = ex / len, dy = ey / len;
+    // Outward normal: right of the travel direction (material is left).
+    const double nx = dy, ny = -dx;
+
+    std::vector<double> offsets;
+    if (len <= 2.0 * excl + step) {
+      offsets.push_back(0.5 * len);  // too short: single midpoint probe
+    } else {
+      for (double t = excl; t <= len - excl; t += step) offsets.push_back(t);
+    }
+    for (double t : offsets) {
+      const double px = e.a.x + dx * t;
+      const double py = e.a.y + dy * t;
+      const auto crossing =
+          probe_crossing(exposure, print_level, px, py, nx, ny, window);
+      if (crossing) {
+        acc.add(*crossing, false);
+      } else {
+        // No printed edge in the window: worst-case penalty with the sign of
+        // the failure (all-above = oversize, all-below = undersize).
+        const double at_edge = exposure.sample(px, py);
+        acc.add(at_edge >= print_level ? window : -window, true);
+      }
+    }
+  }
+}
+
+EpeStats score_epe(const Raster& exposure, double print_level,
+                   const std::vector<EpeEdge>& edges,
+                   const EpeOptions& options) {
+  EpeAccumulator acc;
+  score_epe(exposure, print_level, edges, options, acc);
+  return acc.finalize();
+}
+
+EpeStats measure_epe(const ShotList& shots, const Psf& psf,
+                     const PolygonSet& target, double print_level,
+                     const EpeOptions& options) {
+  const Raster exposure = simulate_exposure(shots, psf, options.sim);
+  return score_epe(exposure, print_level, epe_edges(target), options);
+}
+
+EpeStats measure_epe(const ShotList& shots, const Psf& psf,
+                     const PolygonSet& target, const ResistModel& resist,
+                     const EpeOptions& options) {
+  return measure_epe(shots, psf, target, resist.print_threshold(), options);
+}
+
+}  // namespace ebl

@@ -81,6 +81,37 @@ TEST(Pipeline, PecReducesError) {
   EXPECT_GT(r.pec_iterations, 0);
 }
 
+TEST(Pipeline, EpeStageScoresThePrintedResult) {
+  PolygonSet s;
+  s.insert(Box{0, 0, 12000, 12000});
+  for (Coord x = 16000; x < 24000; x += 3000) {
+    for (Coord y = 1000; y < 9000; y += 3000) {
+      s.insert(Box{x, y, x + 1000, y + 1000});
+    }
+  }
+  PrepOptions opt;
+  opt.fracture.max_shot_size = 2000;
+  opt.pec_psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  opt.pec.max_iterations = 8;
+  opt.epe = PrepEpeOptions{};
+  opt.epe->score.search_window = 400;
+  opt.epe->score.sim.pixel = 50;
+  const PrepResult r = run_data_prep(s, opt);
+
+  ASSERT_TRUE(r.epe.has_value());
+  EXPECT_GT(r.epe->samples, 0u);
+  EXPECT_LT(r.epe->p99, 100.0);  // corrected write lands close to target
+  bool saw_stage = false;
+  for (const StageTime& st : r.stage_times) saw_stage |= st.name == "epe";
+  EXPECT_TRUE(saw_stage);
+
+  // Without a PSF there is nothing to simulate: the stage must not run.
+  PrepOptions no_psf;
+  no_psf.epe = PrepEpeOptions{};
+  const PrepResult r2 = run_data_prep(s, no_psf);
+  EXPECT_FALSE(r2.epe.has_value());
+}
+
 TEST(Pipeline, FieldPartitioningSplitsAndPreservesArea) {
   Rng rng(9);
   const PolygonSet s = random_manhattan(rng, Box{0, 0, 300000, 300000}, 0.1, 3000, 30000);

@@ -2,6 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
 
 #include "core/patterns.h"
 #include "fracture/fracture.h"
@@ -93,6 +97,138 @@ TEST(Ordering, SmallAndDegenerateInputs) {
   order_nearest_neighbor(same);
   EXPECT_EQ(same.size(), 10u);
   EXPECT_DOUBLE_EQ(total_travel(same), 0.0);
+}
+
+TEST(Ordering, OrderedNeverWorseThanShuffled) {
+  // Monotonicity: both orderings must not lose to a deterministic shuffle
+  // of the same multiset.
+  ShotList shots = scattered_shots(800, 21);
+  ShotList shuffled = shots;
+  Rng rng(22);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<std::size_t>(rng.uniform(0, std::int64_t(i) - 1))]);
+  }
+  const double shuffled_travel = total_travel(shuffled);
+
+  ShotList serp = shots;
+  order_serpentine(serp, 10000);
+  EXPECT_LE(total_travel(serp), shuffled_travel);
+
+  ShotList nn = shots;
+  order_nearest_neighbor(nn);
+  EXPECT_LE(total_travel(nn), shuffled_travel);
+}
+
+TEST(Ordering, SerpentineSwathInvariants) {
+  const Coord swath = 7000;
+  ShotList shots = scattered_shots(1200, 23);
+  order_serpentine(shots, swath);
+
+  const auto swath_of = [&](const Shot& s) {
+    const Trapezoid& t = s.shape;
+    const double cy = 0.5 * (double(t.y0) + t.y1);
+    return static_cast<Coord64>(std::floor(cy / swath));
+  };
+  const auto cx_of = [](const Shot& s) {
+    const Trapezoid& t = s.shape;
+    return 0.25 * (double(t.xl0) + t.xr0 + t.xl1 + t.xr1);
+  };
+  for (std::size_t i = 1; i < shots.size(); ++i) {
+    const Coord64 prev = swath_of(shots[i - 1]);
+    const Coord64 cur = swath_of(shots[i]);
+    ASSERT_LE(prev, cur) << "swath indices must be non-decreasing at " << i;
+    if (prev == cur) {
+      // Even swaths sweep left-to-right, odd ones right-to-left.
+      if (cur % 2 == 0) {
+        ASSERT_LE(cx_of(shots[i - 1]), cx_of(shots[i])) << "swath " << cur;
+      } else {
+        ASSERT_GE(cx_of(shots[i - 1]), cx_of(shots[i])) << "swath " << cur;
+      }
+    }
+  }
+}
+
+TEST(Ordering, NearestNeighborMatchesBruteForceOnSmallLists) {
+  // The bucketed ring search must implement exactly the greedy tour a
+  // brute-force scan produces (random coordinates: no distance ties).
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    const ShotList shots = scattered_shots(60, seed);
+    ShotList bucketed = shots;
+    order_nearest_neighbor(bucketed);
+
+    const auto cx = [](const Shot& s) {
+      return 0.25 * (double(s.shape.xl0) + s.shape.xr0 + s.shape.xl1 + s.shape.xr1);
+    };
+    const auto cy = [](const Shot& s) {
+      return 0.5 * (double(s.shape.y0) + s.shape.y1);
+    };
+    ShotList brute;
+    std::vector<char> used(shots.size(), 0);
+    std::size_t cur = 0;
+    used[0] = 1;
+    brute.push_back(shots[0]);
+    for (std::size_t step = 1; step < shots.size(); ++step) {
+      std::size_t best = shots.size();
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t i = 0; i < shots.size(); ++i) {
+        if (used[i]) continue;
+        const double dx = cx(shots[i]) - cx(shots[cur]);
+        const double dy = cy(shots[i]) - cy(shots[cur]);
+        const double d = dx * dx + dy * dy;
+        if (d < best_d) {
+          best_d = d;
+          best = i;
+        }
+      }
+      used[best] = 1;
+      brute.push_back(shots[best]);
+      cur = best;
+    }
+
+    ASSERT_EQ(bucketed.size(), brute.size());
+    for (std::size_t i = 0; i < brute.size(); ++i) {
+      EXPECT_EQ(bucketed[i].shape.xl0, brute[i].shape.xl0) << "seed " << seed;
+      EXPECT_EQ(bucketed[i].shape.y0, brute[i].shape.y0) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Ordering, DeterministicAcrossThreadEnv) {
+  // Ordering is stage-serial by design; pin that EBL_THREADS cannot change
+  // the tour (the scenario matrix depends on it).
+  const ShotList shots = scattered_shots(1000, 41);
+  const char* saved = std::getenv("EBL_THREADS");
+  const std::string saved_value = saved ? saved : "";
+
+  setenv("EBL_THREADS", "1", 1);
+  ShotList serp1 = shots;
+  order_serpentine(serp1, 9000);
+  ShotList nn1 = shots;
+  order_nearest_neighbor(nn1);
+
+  setenv("EBL_THREADS", "7", 1);
+  ShotList serp7 = shots;
+  order_serpentine(serp7, 9000);
+  ShotList nn7 = shots;
+  order_nearest_neighbor(nn7);
+
+  if (saved) {
+    setenv("EBL_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("EBL_THREADS");
+  }
+
+  const auto same_order = [](const ShotList& a, const ShotList& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].shape.xl0 != b[i].shape.xl0 || a[i].shape.y0 != b[i].shape.y0)
+        return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(same_order(serp1, serp7));
+  EXPECT_TRUE(same_order(nn1, nn7));
 }
 
 TEST(Ordering, SerpentineAlternatesDirection) {

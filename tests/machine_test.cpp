@@ -164,6 +164,78 @@ TEST(Distortion, CalibrationLeavesPincushionResidual) {
   EXPECT_GT(after, 0.1);  // third-order residual cannot be nulled affinely
 }
 
+TEST(Distortion, ApplyIdentityIsBitwiseNoOp) {
+  const Box field{0, 0, 10000, 10000};
+  ShotList shots;
+  for (Coord x = 0; x < 10000; x += 2000) {
+    for (Coord y = 0; y < 10000; y += 2000) {
+      shots.push_back({Trapezoid::rect(Box{x, y, x + 500, y + 500}), 1.5});
+    }
+  }
+  const ShotList before = shots;
+  apply_distortion(shots, field, DeflectionDistortion{}, 1.0);
+  apply_distortion(shots, field, DeflectionDistortion{}, -1.0);
+  ASSERT_EQ(shots.size(), before.size());
+  for (std::size_t i = 0; i < shots.size(); ++i) {
+    EXPECT_EQ(shots[i].shape.xl0, before[i].shape.xl0);
+    EXPECT_EQ(shots[i].shape.xr0, before[i].shape.xr0);
+    EXPECT_EQ(shots[i].shape.xl1, before[i].shape.xl1);
+    EXPECT_EQ(shots[i].shape.xr1, before[i].shape.xr1);
+    EXPECT_EQ(shots[i].shape.y0, before[i].shape.y0);
+    EXPECT_EQ(shots[i].shape.y1, before[i].shape.y1);
+    EXPECT_EQ(shots[i].dose, before[i].dose);
+  }
+}
+
+TEST(Distortion, CorrectionDistortionRoundTripWithinTolerance) {
+  // Pre-compensating with -d and then suffering +d must land every figure
+  // within grid rounding (two half-dbu roundings) plus the second-order
+  // term of evaluating d at the corrected rather than the nominal position.
+  const Box field{0, 0, 20000, 20000};
+  DeflectionDistortion d;
+  d.scale_x = 40.0;
+  d.scale_y = -25.0;
+  d.rotation = 18.0;
+  d.pincushion = 12.0;
+  d.offset_x = 5.0;
+  d.offset_y = -3.0;
+
+  ShotList shots;
+  for (int ix = 0; ix <= 10; ++ix) {
+    for (int iy = 0; iy <= 10; ++iy) {
+      const Coord x = static_cast<Coord>(ix * 1950);
+      const Coord y = static_cast<Coord>(iy * 1950);
+      shots.push_back({Trapezoid::rect(Box{x, y, x + 100, y + 100}), 1.0});
+    }
+  }
+  const ShotList nominal = shots;
+
+  apply_distortion(shots, field, d, -1.0);  // data-prep correction
+  apply_distortion(shots, field, d, 1.0);   // the column's distortion
+
+  // max |displacement| ~ 90 dbu over a 10000 dbu half-field -> the
+  // second-order error is below 1 dbu; 2 dbu covers it plus rounding.
+  for (std::size_t i = 0; i < shots.size(); ++i) {
+    EXPECT_LE(std::abs(shots[i].shape.xl0 - nominal[i].shape.xl0), 2) << i;
+    EXPECT_LE(std::abs(shots[i].shape.y0 - nominal[i].shape.y0), 2) << i;
+    EXPECT_EQ(shots[i].shape.xr0 - shots[i].shape.xl0,
+              nominal[i].shape.xr0 - nominal[i].shape.xl0)
+        << "distortion must translate figures, never resize them";
+  }
+}
+
+TEST(Distortion, ApplySignConventionMatchesModel) {
+  // A +x gain error displaces a figure at the +x field edge by +scale_x.
+  const Box field{0, 0, 10000, 10000};
+  DeflectionDistortion d;
+  d.scale_x = 50.0;
+  ShotList shots{{Trapezoid::rect(Box{9950, 4950, 10050, 5050}), 1.0}};
+  apply_distortion(shots, field, d, 1.0);
+  // Centroid at (10000, 5000) = (u, v) = (1, 0) -> dx = +50, dy = 0.
+  EXPECT_EQ(shots[0].shape.xl0, 10000);
+  EXPECT_EQ(shots[0].shape.y0, 4950);
+}
+
 TEST(Distortion, NoisyCalibrationStillHelps) {
   DeflectionDistortion d;
   d.scale_x = 20.0;

@@ -8,6 +8,7 @@
 #include "fracture/fracture.h"
 #include "pec/correction.h"
 #include "pec/exposure.h"
+#include "util/contracts.h"
 
 namespace ebl {
 namespace {
@@ -154,6 +155,50 @@ TEST(Pec, QuantizeDoses) {
   // Extremes preserved.
   EXPECT_DOUBLE_EQ(*std::min_element(distinct.begin(), distinct.end()), 1.0);
   EXPECT_DOUBLE_EQ(*std::max_element(distinct.begin(), distinct.end()), 2.0);
+}
+
+TEST(Pec, QuantizeSingleClassSnapsToRangeMidpoint) {
+  ShotList shots{{Trapezoid::rect(Box{0, 0, 50, 50}), 1.0},
+                 {Trapezoid::rect(Box{100, 0, 150, 50}), 2.0},
+                 {Trapezoid::rect(Box{200, 0, 250, 50}), 4.0}};
+  EXPECT_EQ(quantize_doses(shots, 1), 1);
+  for (const Shot& s : shots) EXPECT_DOUBLE_EQ(s.dose, 2.5);
+}
+
+TEST(Pec, QuantizeConstantDosesUnchanged) {
+  ShotList shots{{Trapezoid::rect(Box{0, 0, 50, 50}), 1.7},
+                 {Trapezoid::rect(Box{100, 0, 150, 50}), 1.7}};
+  EXPECT_EQ(quantize_doses(shots, 1), 1);
+  EXPECT_EQ(quantize_doses(shots, 8), 1);
+  for (const Shot& s : shots) EXPECT_DOUBLE_EQ(s.dose, 1.7);
+}
+
+TEST(Pec, QuantizeClassEdgeTiesToHigherClass) {
+  // Range [1, 2], 3 classes -> levels 1.0, 1.5, 2.0 with edges at 1.25 and
+  // 1.75. Edge doses snap up; just-below doses snap down.
+  const auto make = [](double dose) {
+    return Shot{Trapezoid::rect(Box{0, 0, 50, 50}), dose};
+  };
+  ShotList shots{make(1.0), make(2.0), make(1.25), make(1.75),
+                 make(1.2499999), make(1.7499999)};
+  EXPECT_EQ(quantize_doses(shots, 3), 3);
+  EXPECT_DOUBLE_EQ(shots[2].dose, 1.5);  // exactly on edge: up
+  EXPECT_DOUBLE_EQ(shots[3].dose, 2.0);  // exactly on edge: up
+  EXPECT_DOUBLE_EQ(shots[4].dose, 1.0);  // below edge: down
+  EXPECT_DOUBLE_EQ(shots[5].dose, 1.5);  // below edge: down
+}
+
+TEST(Pec, QuantizeEmptyAndSingleShot) {
+  ShotList empty;
+  EXPECT_EQ(quantize_doses(empty, 5), 0);
+  ShotList one{{Trapezoid::rect(Box{0, 0, 50, 50}), 3.0}};
+  EXPECT_EQ(quantize_doses(one, 5), 1);
+  EXPECT_DOUBLE_EQ(one[0].dose, 3.0);
+}
+
+TEST(Pec, QuantizeRejectsNonPositiveClasses) {
+  ShotList shots{{Trapezoid::rect(Box{0, 0, 50, 50}), 1.0}};
+  EXPECT_THROW(quantize_doses(shots, 0), ContractViolation);
 }
 
 TEST(Pec, QuantizedCorrectionStillBeatsUncorrected) {

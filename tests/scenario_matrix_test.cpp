@@ -1,0 +1,102 @@
+// Scenario-matrix verification: every machine-realistic write flow must
+// (a) print measurably better after correction than before — EPE-after <
+// EPE-before on both p50 and p99 — and (b) produce a bitwise-identical
+// corrected shot list and EPE statistics for any thread count. This is the
+// closed verification loop: the contract is the printed result, not the
+// dose vector.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/scenarios.h"
+#include "util/contracts.h"
+
+namespace ebl {
+namespace {
+
+bool bitwise_equal(const ShotList& a, const ShotList& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Trapezoid& ta = a[i].shape;
+    const Trapezoid& tb = b[i].shape;
+    if (ta.y0 != tb.y0 || ta.y1 != tb.y1 || ta.xl0 != tb.xl0 ||
+        ta.xr0 != tb.xr0 || ta.xl1 != tb.xl1 || ta.xr1 != tb.xr1 ||
+        a[i].dose != b[i].dose) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class ScenarioMatrixTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioMatrixTest, CorrectionImprovesEpeAndIsThreadDeterministic) {
+  const std::string name = GetParam();
+  const ScenarioResult r1 = run_scenario(name, {.threads = 1});
+  const ScenarioResult r4 = run_scenario(name, {.threads = 4});
+
+  // The printed result must improve — the whole point of the correction.
+  EXPECT_LT(r1.epe_after.p50, r1.epe_before.p50) << name;
+  EXPECT_LT(r1.epe_after.p99, r1.epe_before.p99) << name;
+  EXPECT_GT(r1.epe_after.samples, 0u) << name;
+  // Correction may not rescue every sub-resolution sliver, but it must not
+  // lose probes the uncorrected write printed.
+  EXPECT_LE(r1.epe_after.missing, r1.epe_before.missing) << name;
+
+  // Bitwise thread-count determinism: identical machine shot list and
+  // identical statistics, not just close ones.
+  EXPECT_TRUE(bitwise_equal(r1.corrected, r4.corrected)) << name;
+  EXPECT_EQ(r1.epe_after.p50, r4.epe_after.p50) << name;
+  EXPECT_EQ(r1.epe_after.p99, r4.epe_after.p99) << name;
+  EXPECT_EQ(r1.epe_after.max, r4.epe_after.max) << name;
+  EXPECT_EQ(r1.epe_after.mean_signed, r4.epe_after.mean_signed) << name;
+  EXPECT_EQ(r1.epe_before.p99, r4.epe_before.p99) << name;
+  EXPECT_EQ(r1.epe_after.samples, r4.epe_after.samples) << name;
+  EXPECT_EQ(r1.shots, r4.shots) << name;
+
+  // Scenario-specific machine-stage contracts.
+  if (name == "serpentine_order") {
+    EXPECT_LE(r1.travel_ordered, r1.travel_unordered);
+    EXPECT_LE(r1.settle_ordered_s, r1.settle_unordered_s);
+    EXPECT_GT(r1.travel_ordered, 0.0);
+  }
+  if (name == "field_distortion") {
+    EXPECT_LT(r1.stitch_calibrated, r1.stitch_uncalibrated);
+  }
+  if (name == "dose_classes_16") {
+    EXPECT_GE(r1.dose_classes_used, 2);
+    EXPECT_LE(r1.dose_classes_used, 16);
+  }
+  if (name == "sharded_pads") {
+    EXPECT_EQ(r1.pec_shards, 9);
+  }
+  if (name == "multipass_grayscale") {
+    // Two passes of every figure; pass doses must have stayed paired.
+    ASSERT_EQ(r1.corrected.size() % 2, 0u);
+    const std::size_t half = r1.corrected.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      EXPECT_EQ(r1.corrected[i].dose, r1.corrected[i + half].dose);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ScenarioMatrixTest,
+                         ::testing::ValuesIn(scenario_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(ScenarioMatrix, HasAtLeastSixUniqueScenarios) {
+  const std::vector<std::string> names = scenario_names();
+  EXPECT_GE(names.size(), 6u);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+}
+
+TEST(ScenarioMatrix, UnknownScenarioThrows) {
+  EXPECT_THROW(run_scenario("no_such_flow"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ebl

@@ -6,6 +6,7 @@
 
 #include "core/patterns.h"
 #include "fracture/fracture.h"
+#include "sim/epe.h"
 #include "sim/exposure_sim.h"
 #include "util/contracts.h"
 
@@ -187,6 +188,118 @@ TEST(Grayscale, StaircaseDosesGiveStaircaseThickness) {
     const auto [ix, iy] = t.index_of(Point{Coord(i * 2000 + 1000), 10000});
     EXPECT_NEAR(t.at(ix, iy), (i + 1.0) / levels, 0.03) << "step " << i;
   }
+}
+
+TEST(Epe, EdgesFromBoxAreMaterialLeft) {
+  PolygonSet target;
+  target.insert(Box{0, 0, 1000, 2000});
+  const std::vector<EpeEdge> edges = epe_edges(target);
+  ASSERT_EQ(edges.size(), 4u);
+  const auto inside = [](double x, double y) {
+    return x > 0.0 && x < 1000.0 && y > 0.0 && y < 2000.0;
+  };
+  for (const EpeEdge& e : edges) {
+    const double dx = double(e.b.x) - e.a.x;
+    const double dy = double(e.b.y) - e.a.y;
+    const double len = std::hypot(dx, dy);
+    ASSERT_GT(len, 0.0);
+    // Outward normal is to the right of a -> b travel.
+    const double nx = dy / len;
+    const double ny = -dx / len;
+    const double mx = 0.5 * (double(e.a.x) + e.b.x);
+    const double my = 0.5 * (double(e.a.y) + e.b.y);
+    EXPECT_FALSE(inside(mx + 10.0 * nx, my + 10.0 * ny)) << e.a.x << "," << e.a.y;
+    EXPECT_TRUE(inside(mx - 10.0 * nx, my - 10.0 * ny)) << e.a.x << "," << e.a.y;
+  }
+}
+
+TEST(Epe, AccurateWritePrintsNearZero) {
+  // A unit-dose region under a forward-only PSF prints its straight edges
+  // exactly at the half-interior exposure level: EPE should vanish up to
+  // raster interpolation error.
+  PolygonSet target;
+  target.insert(Box{0, 0, 4000, 4000});
+  const ShotList shots = fracture(target, {.max_shot_size = 4000}).shots;
+  const Psf psf = Psf::single_gaussian(50.0);
+  EpeOptions opts;
+  opts.search_window = 300;
+  opts.sim.pixel = 25;
+  const EpeStats s = measure_epe(shots, psf, target, 0.5, opts);
+  EXPECT_GT(s.samples, 20u);
+  EXPECT_EQ(s.missing, 0u);
+  EXPECT_LE(s.p99, 4.0);
+  EXPECT_LE(std::abs(s.mean_signed), 2.0);
+}
+
+TEST(Epe, MeasuresKnownEdgeDisplacement) {
+  // Probe deliberately displaced target edges against the printed box: a
+  // target edge 100 dbu outside the printed one must read EPE ~ -100
+  // (prints undersize relative to that target), and 100 dbu inside ~ +100.
+  PolygonSet printed;
+  printed.insert(Box{0, 0, 4000, 4000});
+  const ShotList shots = fracture(printed, {.max_shot_size = 4000}).shots;
+  const Raster e = simulate_exposure(shots, Psf::single_gaussian(50.0), {.pixel = 25});
+  EpeOptions opts;
+  opts.search_window = 300;
+
+  // Right-side edge, material-left orientation (normal = +x).
+  const std::vector<EpeEdge> outside{{Point{4100, 0}, Point{4100, 4000}}};
+  const EpeStats u = score_epe(e, 0.5, outside, opts);
+  EXPECT_EQ(u.missing, 0u);
+  EXPECT_NEAR(u.mean_signed, -100.0, 4.0);
+
+  const std::vector<EpeEdge> inset{{Point{3900, 0}, Point{3900, 4000}}};
+  const EpeStats o = score_epe(e, 0.5, inset, opts);
+  EXPECT_EQ(o.missing, 0u);
+  EXPECT_NEAR(o.mean_signed, 100.0, 4.0);
+}
+
+TEST(Epe, MissingProbesClampToWindow) {
+  // Nothing prints at 10% dose: every probe misses and scores the bounded
+  // worst case (-window: the feature is absent, i.e. maximally undersize).
+  PolygonSet target;
+  target.insert(Box{0, 0, 4000, 4000});
+  ShotList shots = fracture(target, {.max_shot_size = 4000}).shots;
+  for (Shot& s : shots) s.dose = 0.1;
+  EpeOptions opts;
+  opts.search_window = 300;
+  opts.sim.pixel = 25;
+  const EpeStats s = measure_epe(shots, Psf::single_gaussian(50.0), target, 0.5, opts);
+  EXPECT_GT(s.samples, 0u);
+  EXPECT_EQ(s.missing, s.samples);
+  EXPECT_DOUBLE_EQ(s.p50, 300.0);
+  EXPECT_DOUBLE_EQ(s.max, 300.0);
+  EXPECT_DOUBLE_EQ(s.mean_signed, -300.0);
+}
+
+TEST(Epe, OverdosePrintsOversize) {
+  PolygonSet target;
+  target.insert(Box{0, 0, 4000, 4000});
+  ShotList shots = fracture(target, {.max_shot_size = 4000}).shots;
+  for (Shot& s : shots) s.dose = 1.5;
+  EpeOptions opts;
+  opts.search_window = 300;
+  opts.sim.pixel = 25;
+  const EpeStats s = measure_epe(shots, Psf::single_gaussian(50.0), target, 0.5, opts);
+  EXPECT_EQ(s.missing, 0u);
+  EXPECT_GT(s.mean_signed, 5.0);  // every edge lands outside the target
+}
+
+TEST(Epe, AccumulatorReducesNearestRank) {
+  EpeAccumulator acc;
+  acc.add(-10.0, false);
+  acc.add(20.0, false);
+  acc.add(-30.0, false);
+  acc.add(40.0, true);
+  EXPECT_EQ(acc.samples(), 4u);
+  const EpeStats s = acc.finalize();
+  EXPECT_EQ(s.samples, 4u);
+  EXPECT_EQ(s.missing, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 20.0);  // nearest-rank over |EPE| {10,20,30,40}
+  EXPECT_DOUBLE_EQ(s.p99, 40.0);
+  EXPECT_DOUBLE_EQ(s.max, 40.0);
+  EXPECT_DOUBLE_EQ(s.mean_abs, 25.0);
+  EXPECT_DOUBLE_EQ(s.mean_signed, 5.0);
 }
 
 }  // namespace
