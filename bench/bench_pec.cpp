@@ -29,6 +29,7 @@
 #include "pec/sharded.h"
 #include "sim/exposure_sim.h"
 #include "util/csv.h"
+#include "util/fft.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -176,6 +177,72 @@ std::vector<BlurRow> run_blur_backends(const Psf& psf, bool quick) {
     row.auto_picks_fft = eval.blur_backend() == BlurBackend::kFft;
     rows.push_back(row);
     std::cerr << "blur backends: pps " << pps << " done\n";
+  }
+  return rows;
+}
+
+// --- Padded-size sweep: power-of-two vs mixed-radix FFT plans. ---
+//
+// The FFT convolver pads the map to the next 5-smooth size (2^a 3^b 5^c)
+// instead of the next power of two. This sweep times one registered
+// convolve (load + spectral multiply + inverse) of the same kernel on both
+// plans for representative long-range map shapes: the mixed-radix plan at
+// the map's natural size, and the same engine forced onto the power-of-two
+// grid it used to pad to (a power of two is itself 5-smooth, so growing the
+// logical map until the snug plan lands on the old pow2 size reproduces the
+// old padding exactly).
+struct PadRow {
+  int nx = 0, ny = 0, radius = 0;
+  std::size_t fast_px = 0, fast_py = 0;   // mixed-radix (5-smooth) plan
+  std::size_t pow2_px = 0, pow2_py = 0;   // legacy power-of-two plan
+  double fast_ms = 0.0, pow2_ms = 0.0;    // best-of-3 registered convolve
+};
+
+std::vector<PadRow> run_pad_sweep(bool quick) {
+  // Map shapes chosen to land just past a power of two — the regime the
+  // mixed-radix plan exists for (1030 pads to 1080 instead of 2048).
+  std::vector<std::pair<int, int>> dims = {{1030, 1030}};
+  if (!quick) {
+    dims.push_back({1300, 1100});
+    dims.push_back({2100, 2100});
+  }
+  const std::vector<double> taps = gaussian_kernel_taps(8.0);
+  const int r = static_cast<int>(taps.size()) - 1;
+
+  std::vector<PadRow> rows;
+  for (const auto& [nx, ny] : dims) {
+    PadRow row;
+    row.nx = nx;
+    row.ny = ny;
+    row.radius = r;
+
+    const auto time_plan = [&](int lx, int ly, std::size_t* px, std::size_t* py) {
+      FftConvolver conv(lx, ly, r);
+      const int id = conv.add_kernel(taps);
+      std::vector<double> src(static_cast<std::size_t>(lx) * ly);
+      for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<double>(i % 97) / 97.0;
+      std::vector<double> dst(src.size());
+      double* out = dst.data();
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        conv.load(src.data());
+        conv.convolve_registered({id}, {out});
+        const double ms = ms_since(t0);
+        if (rep == 0 || ms < best) best = ms;
+      }
+      *px = conv.padded_x();
+      *py = conv.padded_y();
+      return best;
+    };
+
+    row.fast_ms = time_plan(nx, ny, &row.fast_px, &row.fast_py);
+    // Grow the logical map until the snug plan is the legacy pow2 grid.
+    const int pow2_nx = static_cast<int>(fft_next_pow2(nx + r)) - r;
+    const int pow2_ny = static_cast<int>(fft_next_pow2(ny + r)) - r;
+    row.pow2_ms = time_plan(pow2_nx, pow2_ny, &row.pow2_px, &row.pow2_py);
+    rows.push_back(row);
   }
   return rows;
 }
@@ -350,11 +417,14 @@ void write_blur_perf(std::ofstream& out, const BlurPerf& p) {
       << ", \"shots_delta_updated\": " << p.shots_updated
       << ", \"accumulate_ms\": " << p.accumulate_ms
       << ", \"delta_accumulate_ms\": " << p.delta_accumulate_ms
-      << ", \"blur_ms\": " << p.blur_ms << "}";
+      << ", \"blur_ms\": " << p.blur_ms
+      << ", \"windowed_blurs\": " << p.windowed_blurs
+      << ", \"windowed_blur_ms\": " << p.windowed_blur_ms << "}";
 }
 
 void write_bench_json(const std::vector<ScalingRow>& rows,
-                      const std::vector<BlurRow>& blur, const ShardedRow& sharded,
+                      const std::vector<BlurRow>& blur,
+                      const std::vector<PadRow>& pads, const ShardedRow& sharded,
                       const Psf& psf, const Psf& blur_psf) {
   std::ofstream out("BENCH_pec.json");
   out << "{\n  \"bench\": \"pec_scaling\",\n";
@@ -399,6 +469,17 @@ void write_bench_json(const std::vector<ScalingRow>& rows,
         << ", \"fft_blur_speedup\": " << r.direct_ms / r.fft_ms
         << ", \"auto_picks\": \"" << (r.auto_picks_fft ? "fft" : "direct")
         << "\", \"max_abs_deviation\": " << r.max_dev << "}";
+  }
+  out << "\n    ],\n";
+  out << "    \"padded_size_sweep\": [";
+  for (std::size_t i = 0; i < pads.size(); ++i) {
+    const PadRow& r = pads[i];
+    out << (i ? "," : "") << "\n      {\"map\": [" << r.nx << ", " << r.ny
+        << "], \"kernel_radius_px\": " << r.radius << ", \"mixed_radix_plan\": ["
+        << r.fast_px << ", " << r.fast_py << "], \"pow2_plan\": [" << r.pow2_px
+        << ", " << r.pow2_py << "], \"mixed_radix_ms\": " << r.fast_ms
+        << ", \"pow2_ms\": " << r.pow2_ms
+        << ", \"mixed_radix_speedup\": " << r.pow2_ms / r.fast_ms << "}";
   }
   out << "\n    ]\n  },\n";
   out << "  \"sharded\": {\n";
@@ -453,37 +534,7 @@ void write_bench_json(const std::vector<ScalingRow>& rows,
   out << "    ]\n  }\n}\n";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-
-  const Psf scaling_psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
-  const std::vector<ScalingRow> scaling = run_scaling(scaling_psf, quick);
-  Table sc("Scaling: full 10-iteration correct_proximity throughput");
-  sc.columns({"shots", "total ms", "ms/iteration", "shots/sec", "seed-path ms", "speedup"});
-  for (const ScalingRow& r : scaling) {
-    sc.row(r.shots, fixed(r.total_ms, 1), fixed(r.total_ms / r.iterations, 2),
-           fixed(1000.0 * double(r.shots) * r.iterations / r.total_ms, 0),
-           r.baseline_ms >= 0 ? fixed(r.baseline_ms, 1) : std::string("-"),
-           r.baseline_ms >= 0 ? fixed(r.baseline_ms / r.total_ms, 2) : std::string("-"));
-  }
-  sc.print();
-
-  const Psf blur_psf = Psf::triple_gaussian(50.0, 3000.0, 600.0, 0.7, 0.3);
-  const std::vector<BlurRow> blur_rows = run_blur_backends(blur_psf, quick);
-  Table bb("Blur backends: per-iteration long-range refresh (triple Gaussian)");
-  bb.columns({"shots", "px/sigma", "accumulate ms", "direct ms", "fft ms",
-              "fft speedup", "auto picks", "max deviation"});
-  for (const BlurRow& r : blur_rows) {
-    bb.row(r.shots, fixed(r.pixels_per_sigma, 0), fixed(r.accumulate_ms, 1),
-           fixed(r.direct_ms, 1), fixed(r.fft_ms, 1),
-           fixed(r.direct_ms / r.fft_ms, 2), r.auto_picks_fft ? "fft" : "direct",
-           r.max_dev);
-  }
-  bb.print();
-
-  const ShardedRow sharded = run_sharded(blur_psf, quick);
+void print_sharded(const ShardedRow& sharded) {
   Table sh("Sharded PEC: tiled concurrent correction vs the global oracle");
   sh.columns({"shots", "shards", "rounds", "resident", "global ms", "sharded ms",
               "speedup", "global err", "sharded err", "max dose delta"});
@@ -517,8 +568,65 @@ int main(int argc, char** argv) {
            sharded.fault_bitwise ? "yes" : "NO");
     fr.print();
   }
+}
 
-  write_bench_json(scaling, blur_rows, sharded, scaling_psf, blur_psf);
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  // --sharded-only re-runs just the sharded/distributed/fault section and
+  // prints its tables without rewriting BENCH_pec.json. The section is the
+  // longest and the most sensitive to machine load, so an A/B of a sharding
+  // change wants a probe that skips the unrelated half of the suite.
+  if (argc > 1 && std::strcmp(argv[1], "--sharded-only") == 0) {
+    const Psf blur_psf = Psf::triple_gaussian(50.0, 3000.0, 600.0, 0.7, 0.3);
+    print_sharded(run_sharded(blur_psf, false));
+    return 0;
+  }
+
+  const Psf scaling_psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  const std::vector<ScalingRow> scaling = run_scaling(scaling_psf, quick);
+  Table sc("Scaling: full 10-iteration correct_proximity throughput");
+  sc.columns({"shots", "total ms", "ms/iteration", "shots/sec", "seed-path ms", "speedup"});
+  for (const ScalingRow& r : scaling) {
+    sc.row(r.shots, fixed(r.total_ms, 1), fixed(r.total_ms / r.iterations, 2),
+           fixed(1000.0 * double(r.shots) * r.iterations / r.total_ms, 0),
+           r.baseline_ms >= 0 ? fixed(r.baseline_ms, 1) : std::string("-"),
+           r.baseline_ms >= 0 ? fixed(r.baseline_ms / r.total_ms, 2) : std::string("-"));
+  }
+  sc.print();
+
+  const Psf blur_psf = Psf::triple_gaussian(50.0, 3000.0, 600.0, 0.7, 0.3);
+  const std::vector<BlurRow> blur_rows = run_blur_backends(blur_psf, quick);
+  Table bb("Blur backends: per-iteration long-range refresh (triple Gaussian)");
+  bb.columns({"shots", "px/sigma", "accumulate ms", "direct ms", "fft ms",
+              "fft speedup", "auto picks", "max deviation"});
+  for (const BlurRow& r : blur_rows) {
+    bb.row(r.shots, fixed(r.pixels_per_sigma, 0), fixed(r.accumulate_ms, 1),
+           fixed(r.direct_ms, 1), fixed(r.fft_ms, 1),
+           fixed(r.direct_ms / r.fft_ms, 2), r.auto_picks_fft ? "fft" : "direct",
+           r.max_dev);
+  }
+  bb.print();
+
+  const std::vector<PadRow> pad_rows = run_pad_sweep(quick);
+  Table ps("Padded FFT plans: mixed-radix (5-smooth) vs power-of-two");
+  ps.columns({"map", "radius", "mixed-radix plan", "pow2 plan", "mixed ms",
+              "pow2 ms", "speedup"});
+  for (const PadRow& r : pad_rows) {
+    ps.row(std::to_string(r.nx) + "x" + std::to_string(r.ny), r.radius,
+           std::to_string(r.fast_px) + "x" + std::to_string(r.fast_py),
+           std::to_string(r.pow2_px) + "x" + std::to_string(r.pow2_py),
+           fixed(r.fast_ms, 2), fixed(r.pow2_ms, 2),
+           fixed(r.pow2_ms / r.fast_ms, 2) + "x");
+  }
+  ps.print();
+
+  const ShardedRow sharded = run_sharded(blur_psf, quick);
+  print_sharded(sharded);
+
+  write_bench_json(scaling, blur_rows, pad_rows, sharded, scaling_psf, blur_psf);
   std::cout << "wrote BENCH_pec.json\n";
   if (quick) return 0;
   const Coord w = 500;

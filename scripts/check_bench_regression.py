@@ -58,6 +58,28 @@ IDENTITY_KEYS = (
 )
 
 
+def derive_blur_fractions(node, metrics):
+    """Synthesizes blur_ms as a fraction of the case's end-to-end wall clock
+    from the nested refresh-perf blocks. The fraction is dimensionless within
+    one run, so it transfers across hosts like the speedup ratios — it guards
+    the long-range blur's share of the solve, which the FFT/windowed-blur
+    work exists to shrink."""
+    for perf_key, total_key, name in (
+        ("refresh_perf", "total_ms", "blur_fraction_of_total"),
+        ("sharded_refresh_perf", "sharded_total_ms",
+         "sharded_blur_fraction_of_total"),
+        ("global_refresh_perf", "global_total_ms",
+         "global_blur_fraction_of_total"),
+    ):
+        perf = node.get(perf_key)
+        total = node.get(total_key)
+        if (isinstance(perf, dict) and isinstance(total, (int, float))
+                and not isinstance(total, bool) and total > 0):
+            blur = perf.get("blur_ms")
+            if isinstance(blur, (int, float)) and not isinstance(blur, bool):
+                metrics[name] = float(blur) / float(total)
+
+
 def collect_cases(node, path=""):
     """Yields (section_path, identity_tuple, metrics_dict) for every dict in
     the tree that carries at least one identity key."""
@@ -73,6 +95,7 @@ def collect_cases(node, path=""):
                 if isinstance(v, (int, float)) and not isinstance(v, bool)
                 and k not in IDENTITY_KEYS
             }
+            derive_blur_fractions(node, metrics)
             yield (path, identity, metrics)
         for key, value in node.items():
             yield from collect_cases(value, f"{path}/{key}")
@@ -93,6 +116,17 @@ def comparable_metrics(metrics, absolute):
     if absolute:
         names += [k for k in metrics if k.endswith("_per_sec")]
     return names
+
+
+# Blur-share wobble below this many percentage points of the total wall
+# clock is scheduler noise, not a regression (mirrors EPE_ABS_FLOOR_DBU).
+BLUR_FRACTION_ABS_FLOOR = 0.05
+
+
+def blur_fraction_metrics(metrics):
+    """Lower-is-better blur-share metrics synthesized by
+    derive_blur_fractions."""
+    return [k for k in metrics if k.endswith("blur_fraction_of_total")]
 
 
 def quality_metrics(metrics):
@@ -151,6 +185,19 @@ def main():
             print(f"  [{status}] {path} ({ident}) {name}: "
                   f"{old:.3g} -> {new:.3g} ({-drop:+.1%})")
             if drop > args.tolerance:
+                regressions.append((path, ident, name, old, new))
+        for name in blur_fraction_metrics(metrics):
+            if name not in base or not isinstance(base[name], (int, float)):
+                continue
+            old, new = float(base[name]), float(metrics[name])
+            compared += 1
+            grew = (new - old) / old if old > 0 else 0.0
+            worse = new > old + BLUR_FRACTION_ABS_FLOOR and (
+                old <= 0 or grew > args.tolerance)
+            status = "FAIL" if worse else "ok"
+            print(f"  [{status}] {path} ({ident}) {name}: "
+                  f"{old:.1%} -> {new:.1%} of total")
+            if worse:
                 regressions.append((path, ident, name, old, new))
         for name in quality_metrics(metrics):
             if name not in base or not isinstance(base[name], (int, float)):

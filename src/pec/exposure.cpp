@@ -110,51 +110,23 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 // 0.96x, ratio 2.1 at 1.9x).
 constexpr double kFftWinFactor = 1.4;
 
+// Tile side of the windowed-blur touch mask (pixels). Small enough that a
+// ring of boundary movers resolves into thin edge rectangles instead of one
+// map-sized blob, large enough that the mask and the per-rectangle overhead
+// stay negligible against the blur itself.
+constexpr int kBlurTilePx = 32;
+
 double direct_blur_flops(std::size_t npx, std::size_t radius) {
   // Two passes of a (2 radius + 1)-tap kernel.
   return static_cast<double>(npx) * (8.0 * static_cast<double>(radius) + 2.0);
 }
 
-}  // namespace
-
-bool fft_blur_wins(int nx, int ny, const std::vector<std::size_t>& radii) {
-  const std::size_t npx = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
-  double direct = 0.0;
-  std::size_t rmax = 1;
-  for (const std::size_t r : radii) {
-    direct += direct_blur_flops(npx, r);
-    rmax = std::max(rmax, r);
-  }
-  // One shared forward transform, one inverse plus spectral multiply per
-  // kernel.
-  const double fft =
-      (1.0 + static_cast<double>(radii.size())) *
-          FftConvolver::transform_cost(nx, ny, static_cast<int>(rmax)) +
-      10.0 * static_cast<double>(npx) * static_cast<double>(radii.size());
-  return direct > kFftWinFactor * fft;
-}
-
-std::vector<double> gaussian_kernel_taps(double sigma_px) {
-  expects(sigma_px > 0, "gaussian_kernel_taps: sigma must be positive");
-  const int radius = std::max(1, static_cast<int>(std::ceil(4.0 * sigma_px)));
-  std::vector<double> taps(static_cast<std::size_t>(radius) + 1);
-  double norm = 0.0;
-  for (int i = 0; i <= radius; ++i) {
-    // Gaussian with variance sigma^2/2 per axis: exp(-x^2/sigma^2) matches
-    // the PSF convention exp(-r^2/sigma^2).
-    taps[static_cast<std::size_t>(i)] = std::exp(-(double(i) * i) / (sigma_px * sigma_px));
-    norm += (i == 0 ? 1.0 : 2.0) * taps[static_cast<std::size_t>(i)];
-  }
-  for (double& t : taps) t /= norm;
-  return taps;
-}
-
-void separable_blur(Raster& raster, const std::vector<double>& taps, int threads) {
-  expects(!taps.empty(), "separable_blur: empty kernel");
+// Raw-buffer core of separable_blur, so the windowed delta-blur can run the
+// identical passes on an extracted sub-window (identical per-pixel tap order
+// and edge-skip conditions are what make the windowed patch bit-exact).
+void separable_blur_buf(double* src, int nx, int ny, const std::vector<double>& taps,
+                        int threads) {
   const int radius = static_cast<int>(taps.size()) - 1;
-  const int nx = raster.width();
-  const int ny = raster.height();
-  std::vector<double>& src = raster.data();
 
   // Scratch for the intermediate image, reused across calls (the PEC loop
   // blurs the same-sized raster every iteration). Bound through a local
@@ -213,6 +185,46 @@ void separable_blur(Raster& raster, const std::vector<double>& taps, int threads
         }
       },
       threads);
+}
+
+}  // namespace
+
+bool fft_blur_wins(int nx, int ny, const std::vector<std::size_t>& radii) {
+  const std::size_t npx = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  double direct = 0.0;
+  std::size_t rmax = 1;
+  for (const std::size_t r : radii) {
+    direct += direct_blur_flops(npx, r);
+    rmax = std::max(rmax, r);
+  }
+  // One shared forward transform, one inverse plus spectral multiply per
+  // kernel.
+  const double fft =
+      (1.0 + static_cast<double>(radii.size())) *
+          FftConvolver::transform_cost(nx, ny, static_cast<int>(rmax)) +
+      10.0 * static_cast<double>(npx) * static_cast<double>(radii.size());
+  return direct > kFftWinFactor * fft;
+}
+
+std::vector<double> gaussian_kernel_taps(double sigma_px) {
+  expects(sigma_px > 0, "gaussian_kernel_taps: sigma must be positive");
+  const int radius = std::max(1, static_cast<int>(std::ceil(4.0 * sigma_px)));
+  std::vector<double> taps(static_cast<std::size_t>(radius) + 1);
+  double norm = 0.0;
+  for (int i = 0; i <= radius; ++i) {
+    // Gaussian with variance sigma^2/2 per axis: exp(-x^2/sigma^2) matches
+    // the PSF convention exp(-r^2/sigma^2).
+    taps[static_cast<std::size_t>(i)] = std::exp(-(double(i) * i) / (sigma_px * sigma_px));
+    norm += (i == 0 ? 1.0 : 2.0) * taps[static_cast<std::size_t>(i)];
+  }
+  for (double& t : taps) t /= norm;
+  return taps;
+}
+
+void separable_blur(Raster& raster, const std::vector<double>& taps, int threads) {
+  expects(!taps.empty(), "separable_blur: empty kernel");
+  separable_blur_buf(raster.data().data(), raster.width(), raster.height(), taps,
+                     threads);
 }
 
 void gaussian_blur(Raster& raster, double sigma_dbu, int threads) {
@@ -357,6 +369,9 @@ void ExposureEvaluator::build_long_range() {
   long_base_.reset();
   ghost_base_.reset();
   convolver_.reset();
+  term_kernel_ids_.clear();
+  win_conv_.reset();
+  win_ids_.clear();
   shot_start_.clear();
   shot_px_.clear();
   shot_frac_.clear();
@@ -521,6 +536,11 @@ void ExposureEvaluator::accumulate_long_range() {
     for (const Shot& s : shots_) long_base_->add_coverage(s.shape, s.dose);
   }
   perf_.accumulate_ms += ms_since(t0);
+  // A full gather restores the base map to exactly what a fresh evaluator
+  // would compute, and the full blur below re-derives every term map from
+  // it — the evaluator is globally exact again, so the delta-scatter dirty
+  // set restarts empty.
+  clear_dirty();
 
   blur_long_range();
   ++perf_.refreshes;
@@ -530,24 +550,249 @@ void ExposureEvaluator::blur_long_range() {
   if (!long_base_) return;
   const auto t0 = std::chrono::steady_clock::now();
   if (use_fft_) {
-    // One forward transform of the accumulated base map serves every term:
-    // each blurred map is that single spectrum times the term's kernel
-    // spectrum, inverse-transformed.
+    // One forward transform of the accumulated base map serves every term.
+    // The term kernels are fixed for the evaluator's lifetime, so they
+    // register with the plan once — their spectra are cached there — and one
+    // batched call applies all of them to the single cached forward
+    // transform (one load of each transformed column, one fused multiply and
+    // inverse per term).
     if (!convolver_) {
       convolver_ = std::make_unique<FftConvolver>(
           long_base_->width(), long_base_->height(), max_radius_, opt_.threads);
+      term_kernel_ids_.clear();
+      for (const TermMap& tm : term_maps_)
+        term_kernel_ids_.push_back(convolver_->add_kernel(tm.taps));
     }
     convolver_->load(long_base_->data().data());
-    for (TermMap& tm : term_maps_) {
-      convolver_->convolve(tm.taps, tm.map->data().data());
-    }
+    std::vector<double*> outs;
+    outs.reserve(term_maps_.size());
+    for (TermMap& tm : term_maps_) outs.push_back(tm.map->data().data());
+    convolver_->convolve_registered(term_kernel_ids_, outs);
   } else {
     for (TermMap& tm : term_maps_) {
       tm.map->data() = long_base_->data();  // same size: no allocation
       separable_blur(*tm.map, tm.taps, opt_.threads);
     }
   }
+  // A full blur freshens every term-map pixel, so pending windowed-blur
+  // marks are moot.
+  clear_blur_tiles();
   perf_.blur_ms += ms_since(t0);
+}
+
+bool ExposureEvaluator::blur_long_range_windowed(bool allow_fft) {
+  if (!long_base_ || term_maps_.empty() || tiles_marked_ == 0) return false;
+  const int nx = long_base_->width();
+  const int ny = long_base_->height();
+  const int r = max_radius_;
+  const std::size_t npx = static_cast<std::size_t>(nx) * ny;
+  const std::size_t nterm = term_maps_.size();
+
+  // Merge the marked tiles into patch rectangles P: horizontal runs of
+  // adjacent tiles per tile row, coalesced with the rectangle directly
+  // above when the column span matches. The marks already carry the
+  // kernel-support dilation (see mark_blur_tiles_region), so each
+  // rectangle covers every output pixel its touched region can change —
+  // padded out to tile granularity, which only over-patches (over-patched
+  // pixels recompute to their existing full-blur values).
+  struct Rect {
+    int tx0, tx1, ty0, ty1;  // tile coords, inclusive
+    bool use_fft;
+  };
+  std::vector<Rect> rects;
+  std::vector<std::size_t> prev_open, open;
+  for (int ty = 0; ty < tile_ny_; ++ty) {
+    open.clear();
+    const std::uint8_t* row =
+        blur_tiles_.data() + static_cast<std::size_t>(ty) * tile_nx_;
+    for (int tx = 0; tx < tile_nx_;) {
+      if (!row[tx]) {
+        ++tx;
+        continue;
+      }
+      int te = tx;
+      while (te + 1 < tile_nx_ && row[te + 1]) ++te;
+      std::size_t merged = rects.size();
+      for (const std::size_t idx : prev_open) {
+        if (rects[idx].tx0 == tx && rects[idx].tx1 == te) {
+          merged = idx;
+          break;
+        }
+      }
+      if (merged < rects.size()) {
+        rects[merged].ty1 = ty;
+      } else {
+        rects.push_back({tx, te, ty, ty, false});
+      }
+      open.push_back(merged);
+      tx = te + 1;
+    }
+    std::swap(prev_open, open);
+  }
+
+  // Flop-model crossover in the units of fft_blur_wins (direct-pass flops;
+  // kFftWinFactor folds the measured direct-vs-FFT throughput gap). Each
+  // window W = dilate(P, r) pays extract + patch traffic on top; the
+  // decision is global — either every rectangle patches, or the caller
+  // runs one full blur.
+  const auto rect_window = [&](const Rect& rc, int& wx0, int& wy0, int& wx,
+                               int& wy) {
+    const int px0 = rc.tx0 * kBlurTilePx;
+    const int py0 = rc.ty0 * kBlurTilePx;
+    const int px1 = std::min(nx - 1, (rc.tx1 + 1) * kBlurTilePx - 1);
+    const int py1 = std::min(ny - 1, (rc.ty1 + 1) * kBlurTilePx - 1);
+    wx0 = std::max(0, px0 - r);
+    wy0 = std::max(0, py0 - r);
+    wx = std::min(nx - 1, px1 + r) - wx0 + 1;
+    wy = std::min(ny - 1, py1 + r) - wy0 + 1;
+  };
+  double full_direct = 0.0;
+  for (const TermMap& tm : term_maps_)
+    full_direct += direct_blur_flops(npx, tm.taps.size() - 1);
+  const double nt = static_cast<double>(nterm);
+  const double full_fft =
+      kFftWinFactor * ((1.0 + nt) * FftConvolver::transform_cost(nx, ny, r) +
+                       10.0 * static_cast<double>(npx) * nt);
+  const double full_time = use_fft_ ? full_fft : full_direct;
+  double win_time = 0.0;
+  for (Rect& rc : rects) {
+    int wx0, wy0, wx, wy;
+    rect_window(rc, wx0, wy0, wx, wy);
+    const std::size_t wpx = static_cast<std::size_t>(wx) * wy;
+    double win_direct = 0.0;
+    for (const TermMap& tm : term_maps_)
+      win_direct += direct_blur_flops(wpx, tm.taps.size() - 1);
+    const double win_fft =
+        kFftWinFactor * ((1.0 + nt) * FftConvolver::transform_cost(wx, wy, r) +
+                         10.0 * static_cast<double>(wpx) * nt);
+    rc.use_fft = allow_fft && win_fft < win_direct;
+    win_time +=
+        (rc.use_fft ? win_fft : win_direct) + 6.0 * static_cast<double>(wpx);
+    if (win_time >= full_time) return false;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const double* base = long_base_->data().data();
+  for (const Rect& rc : rects) {
+    const int px0 = rc.tx0 * kBlurTilePx;
+    const int py0 = rc.ty0 * kBlurTilePx;
+    const int px1 = std::min(nx - 1, (rc.tx1 + 1) * kBlurTilePx - 1);
+    const int py1 = std::min(ny - 1, (rc.ty1 + 1) * kBlurTilePx - 1);
+    int wx0, wy0, wx, wy;
+    rect_window(rc, wx0, wy0, wx, wy);
+    const std::size_t wpx = static_cast<std::size_t>(wx) * wy;
+    // Extract W from the base map. W edges clip only where the map edge
+    // does, so the separable passes' edge-skip conditions coincide with
+    // the full-map blur's and the patched values come out bit-identical.
+    win_src_.resize(wpx);
+    for (int y = 0; y < wy; ++y) {
+      std::copy_n(base + static_cast<std::size_t>(wy0 + y) * nx + wx0, wx,
+                  win_src_.data() + static_cast<std::size_t>(y) * wx);
+    }
+    win_out_.resize(nterm);
+    if (rc.use_fft) {
+      // Snug sub-plan over W with the term kernels registered; rebuilt only
+      // when the window size changes (steady delta trajectories reuse it).
+      if (!win_conv_ || win_conv_->nx() != wx || win_conv_->ny() != wy) {
+        win_conv_ = std::make_unique<FftConvolver>(wx, wy, r, opt_.threads);
+        win_ids_.clear();
+        for (const TermMap& tm : term_maps_)
+          win_ids_.push_back(win_conv_->add_kernel(tm.taps));
+      }
+      win_conv_->load(win_src_.data());
+      std::vector<double*> outs;
+      outs.reserve(nterm);
+      for (std::size_t t = 0; t < nterm; ++t) {
+        win_out_[t].resize(wpx);
+        outs.push_back(win_out_[t].data());
+      }
+      win_conv_->convolve_registered(win_ids_, outs);
+    } else {
+      for (std::size_t t = 0; t < nterm; ++t) {
+        win_out_[t] = win_src_;
+        separable_blur_buf(win_out_[t].data(), wx, wy, term_maps_[t].taps,
+                           opt_.threads);
+      }
+    }
+    // Patch P into each term map in place (rectangles are disjoint by
+    // construction: each marked tile lands in exactly one run).
+    const int cw = px1 - px0 + 1;
+    for (std::size_t t = 0; t < nterm; ++t) {
+      double* dst = term_maps_[t].map->data().data();
+      const double* src = win_out_[t].data();
+      for (int y = py0; y <= py1; ++y) {
+        std::copy_n(src + static_cast<std::size_t>(y - wy0) * wx + (px0 - wx0),
+                    cw, dst + static_cast<std::size_t>(y) * nx + px0);
+      }
+    }
+  }
+  clear_blur_tiles();
+  const double dt = ms_since(t0);
+  perf_.blur_ms += dt;
+  perf_.windowed_blur_ms += dt;
+  ++perf_.windowed_blurs;
+  return true;
+}
+
+void ExposureEvaluator::mark_blur_tiles_region(int ax, int ay, int bx, int by) {
+  const int nx = long_base_->width();
+  const int ny = long_base_->height();
+  const int tnx = (nx + kBlurTilePx - 1) / kBlurTilePx;
+  const int tny = (ny + kBlurTilePx - 1) / kBlurTilePx;
+  if (tile_nx_ != tnx || tile_ny_ != tny) {
+    tile_nx_ = tnx;
+    tile_ny_ = tny;
+    blur_tiles_.assign(static_cast<std::size_t>(tnx) * tny, 0);
+    tiles_marked_ = 0;
+  }
+  const int r = max_radius_;
+  const int tx0 = std::max(0, ax - r) / kBlurTilePx;
+  const int ty0 = std::max(0, ay - r) / kBlurTilePx;
+  const int tx1 = std::min(nx - 1, bx + r) / kBlurTilePx;
+  const int ty1 = std::min(ny - 1, by + r) / kBlurTilePx;
+  for (int ty = ty0; ty <= ty1; ++ty) {
+    std::uint8_t* row =
+        blur_tiles_.data() + static_cast<std::size_t>(ty) * tile_nx_;
+    for (int tx = tx0; tx <= tx1; ++tx) {
+      if (!row[tx]) {
+        row[tx] = 1;
+        ++tiles_marked_;
+      }
+    }
+  }
+}
+
+void ExposureEvaluator::mark_blur_tiles(const Box& bb) {
+  const auto [ax, ay] = long_base_->index_of(bb.lo);
+  const auto [bx, by] = long_base_->index_of(bb.hi);
+  mark_blur_tiles_region(ax, ay, bx, by);
+}
+
+void ExposureEvaluator::clear_blur_tiles() {
+  if (tiles_marked_ == 0) return;
+  std::fill(blur_tiles_.begin(), blur_tiles_.end(), 0);
+  tiles_marked_ = 0;
+}
+
+void ExposureEvaluator::mark_dirty(std::uint32_t p) {
+  if (dirty_overflow_) return;
+  if (dirty_mask_.empty()) dirty_mask_.assign(long_base_->data().size(), 0);
+  if (dirty_mask_[p]) return;
+  dirty_mask_[p] = 1;
+  dirty_px_.push_back(p);
+  // Past half the map the exact background refresh cannot beat the full
+  // rebuild anyway; stop recording and let it take the full path.
+  if (dirty_px_.size() * 2 > dirty_mask_.size()) dirty_overflow_ = true;
+}
+
+void ExposureEvaluator::clear_dirty() {
+  if (dirty_overflow_) {
+    std::fill(dirty_mask_.begin(), dirty_mask_.end(), 0);
+  } else {
+    for (const std::uint32_t p : dirty_px_) dirty_mask_[p] = 0;
+  }
+  dirty_px_.clear();
+  dirty_overflow_ = false;
 }
 
 bool ExposureEvaluator::delta_capable() const {
@@ -577,6 +822,10 @@ void ExposureEvaluator::apply_delta(const double* doses, std::size_t begin,
   double* base = have_maps ? long_base_->data().data() : nullptr;
   double* bg = ghost_base_ ? ghost_base_->data().data() : nullptr;
   const bool shorts = short_cache_valid_ && !short_terms_.empty();
+  // Dirty-pixel tracking (split evaluators only): every base pixel a scatter
+  // perturbs is recorded so the next exact background refresh can restore
+  // global bitwise freshness by recomputing just those pixels.
+  const bool track = have_maps && ghost_base_ != nullptr;
   for (const std::uint32_t j : moved_scratch_) {
     const double d_new = doses[j - begin];
     const double delta = d_new - shots_[j].dose;
@@ -585,19 +834,25 @@ void ExposureEvaluator::apply_delta(const double* doses, std::size_t begin,
       if (j < active_) {
         // Cached splats re-weighted by the dose delta, straight into the
         // shared base map.
-        for (std::uint32_t k = shot_start_[j]; k < shot_start_[j + 1]; ++k)
+        for (std::uint32_t k = shot_start_[j]; k < shot_start_[j + 1]; ++k) {
           base[shot_px_[k]] += delta * static_cast<double>(shot_frac_[k]);
+          if (track) mark_dirty(shot_px_[k]);
+        }
       } else {
         // Moved ghost: its coverage is not cached (background memory stays
         // O(active)), so delta-rasterize it into both the frozen ghost map
         // and the base map.
         long_base_->visit_coverage(shots_[j].shape, [&](int ix, int iy, double frac) {
-          const std::size_t p =
-              static_cast<std::size_t>(iy) * long_base_->width() + ix;
+          const std::uint32_t p =
+              static_cast<std::uint32_t>(iy) * long_base_->width() + ix;
           bg[p] += delta * frac;
           base[p] += delta * frac;
+          if (track) mark_dirty(p);
         });
       }
+      // The shape bbox covers the splat footprint by construction; its
+      // tiles feed the windowed blur below.
+      mark_blur_tiles(shots_[j].shape.bbox());
     }
     if (shorts) scatter_short_delta(j, delta);
   }
@@ -605,7 +860,15 @@ void ExposureEvaluator::apply_delta(const double* doses, std::size_t begin,
   perf_.shots_updated += static_cast<long long>(moved_scratch_.size());
   ++perf_.delta_refreshes;
   ++delta_streak_;
-  if (have_maps) blur_long_range();
+  // Windowed delta-blur: when the touched tiles (plus kernel support) merge
+  // into rectangles small against the map, re-derive the term maps only
+  // there and patch in place; the flop model falls back to the full blur
+  // otherwise. The FFT sub-plans agree with the full blur to rounding,
+  // which the delta path's <= 1e-12 contract (re-anchored every
+  // kDeltaReanchor refreshes) absorbs.
+  if (have_maps && !blur_long_range_windowed(/*allow_fft=*/true)) {
+    blur_long_range();
+  }
 }
 
 void ExposureEvaluator::update_doses(const double* doses, std::size_t begin,
@@ -658,19 +921,184 @@ void ExposureEvaluator::set_active_doses(const std::vector<double>& doses) {
 
 void ExposureEvaluator::reset_doses(const std::vector<double>& doses) {
   expects(doses.size() == shots_.size(), "reset_doses: size mismatch");
-  apply_full(doses.data(), 0, shots_.size());
+  // Exact by design, like set_background_doses: after this call the
+  // evaluator is bit-identical to one freshly constructed at these doses.
+  // The delta route applies every changed dose verbatim (exact inequality,
+  // no threshold deferral — reset semantics) and restores exactness by
+  // recomputing just the moved footprints plus the delta-scatter dirty set.
+  // This is the resident shard's re-entry after an optimistic exit: near
+  // convergence only a minority of doses survived the last unverified
+  // update, so the full rebuild would mostly recompute unchanged pixels.
+  const bool deltaable = opt_.delta_threshold > 0 && delta_capable() &&
+                         long_base_ != nullptr && ghost_base_ != nullptr &&
+                         !dirty_overflow_;
+  if (!deltaable) {
+    apply_full(doses.data(), 0, shots_.size());
+    return;
+  }
+  moved_scratch_.clear();  // ghost-relative indices
+  std::vector<std::uint32_t> moved_active;
+  for (std::size_t i = 0; i < active_; ++i) {
+    if (doses[i] != shots_[i].dose)
+      moved_active.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (std::size_t k = active_; k < shots_.size(); ++k) {
+    if (doses[k] != shots_[k].dose)
+      moved_scratch_.push_back(static_cast<std::uint32_t>(k - active_));
+  }
+  if (moved_active.empty() && moved_scratch_.empty() && dirty_px_.empty()) {
+    short_cache_valid_ = false;
+    delta_streak_ = 0;
+    ++perf_.skipped_refreshes;
+    return;
+  }
+  for (const std::uint32_t i : moved_active) shots_[i].dose = doses[i];
+  for (const std::uint32_t k : moved_scratch_)
+    shots_[active_ + k].dose = doses[active_ + k];
+  exact_delta_refresh(moved_active, moved_scratch_);
 }
 
 void ExposureEvaluator::set_background_doses(const std::vector<double>& doses) {
   expects(doses.size() == shots_.size() - active_,
           "set_background_doses: size mismatch");
   if (doses.empty()) return;
-  // Exact by design (see the header): dose-dependent state is rebuilt the
-  // way construction builds it, so a resident shard evaluator refreshed here
-  // is bit-identical to a freshly built one at the same doses.
-  for (std::size_t i = 0; i < doses.size(); ++i) shots_[active_ + i].dose = doses[i];
-  if (ghost_base_) rebuild_ghost_base();
-  accumulate_long_range();
+  // Exact by design (see the header): after this call the evaluator is
+  // bit-identical to one freshly constructed at the same doses. The delta
+  // route below gets there without the full rebuild: the only pixels whose
+  // state can deviate from a fresh construction are those delta scatters
+  // have touched since the last full gather (tracked in dirty_px_) plus the
+  // changed ghosts' footprints, and recomputing exactly those with the
+  // full-gather arithmetic (same ascending-order sums) restores global
+  // exactness at O(touched) cost. Deviations are *exact* inequality, not
+  // delta_threshold — deferring a changed ghost would break the bitwise
+  // equivalence the sharded corrector builds on.
+  const bool deltaable = opt_.delta_threshold > 0 && delta_capable() &&
+                         long_base_ != nullptr && ghost_base_ != nullptr &&
+                         !dirty_overflow_;
+  if (!deltaable) {
+    for (std::size_t i = 0; i < doses.size(); ++i)
+      shots_[active_ + i].dose = doses[i];
+    if (ghost_base_) rebuild_ghost_base();
+    accumulate_long_range();
+    short_cache_valid_ = false;
+    delta_streak_ = 0;
+    return;
+  }
+  moved_scratch_.clear();
+  for (std::size_t k = 0; k < doses.size(); ++k) {
+    if (doses[k] != shots_[active_ + k].dose)
+      moved_scratch_.push_back(static_cast<std::uint32_t>(k));
+  }
+  if (moved_scratch_.empty() && dirty_px_.empty()) {
+    // Nothing changed since the last globally exact state. Only the
+    // incrementally patched short-range cache could deviate from a fresh
+    // recomputation, so drop just that and skip accumulate + blur entirely.
+    short_cache_valid_ = false;
+    delta_streak_ = 0;
+    ++perf_.skipped_refreshes;
+    return;
+  }
+  for (const std::uint32_t k : moved_scratch_)
+    shots_[active_ + k].dose = doses[k];
+  exact_delta_refresh({}, moved_scratch_);
+}
+
+void ExposureEvaluator::exact_delta_refresh(
+    const std::vector<std::uint32_t>& moved_active,
+    const std::vector<std::uint32_t>& moved_ghost) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int nx = long_base_->width();
+  const std::size_t npx = long_base_->data().size();
+  // Cheap touched-size bound before any footprint walk: active footprints
+  // are known from the splat CSR, moved-ghost footprints bounded by their
+  // clipped bbox pixel areas. Past half the map the dirty recompute cannot
+  // beat the full rebuild — bail without marking a single pixel (the round
+  // after a warm-start correction moves nearly every halo ghost, and the
+  // wasted walk used to cost real, uncounted time there).
+  std::size_t touched_bound = dirty_px_.size();
+  for (const std::uint32_t i : moved_active)
+    touched_bound += shot_start_[i + 1] - shot_start_[i];
+  for (const std::uint32_t k : moved_ghost) {
+    const Box bb = shots_[active_ + k].shape.bbox();
+    const auto [ax, ay] = long_base_->index_of(bb.lo);
+    const auto [bx, by] = long_base_->index_of(bb.hi);
+    touched_bound += static_cast<std::size_t>(bx - ax + 1) * (by - ay + 1);
+  }
+  bool full = touched_bound * 2 > npx;
+  if (!full) {
+    // Mark the moved shots' footprints dirty (their coverage contribution
+    // moved) on top of whatever earlier delta scatters already recorded.
+    for (const std::uint32_t i : moved_active) {
+      if (dirty_overflow_) break;
+      for (std::uint32_t k = shot_start_[i]; k < shot_start_[i + 1]; ++k)
+        mark_dirty(shot_px_[k]);
+    }
+    for (const std::uint32_t k : moved_ghost) {
+      if (dirty_overflow_) break;
+      long_base_->visit_coverage(
+          shots_[active_ + k].shape, [&](int ix, int iy, double) {
+            mark_dirty(static_cast<std::uint32_t>(iy) * nx + ix);
+          });
+    }
+    full = dirty_overflow_;
+  }
+  // Changed-ghost coverage: re-raster the frozen map from scratch — the
+  // identical serial accumulation a fresh construction runs, so it is
+  // bitwise fresh, and the full path below needs it just the same. Moved
+  // actives never touch the frozen ghost map.
+  if (!moved_ghost.empty()) rebuild_ghost_base();
+  if (full) {
+    // The touched set is (or grew) past half the map: finish through the
+    // full rebuild (doses are already applied; accumulate clears the dirty
+    // set).
+    accumulate_long_range();
+    short_cache_valid_ = false;
+    delta_streak_ = 0;
+    return;
+  }
+  const double* bg = ghost_base_->data().data();
+  // Base recompute on every dirty pixel with the exact gather arithmetic
+  // (independent outputs: deterministic for any thread count).
+  std::vector<double> adose(active_);
+  for (std::size_t i = 0; i < active_; ++i) adose[i] = shots_[i].dose;
+  double* base = long_base_->data().data();
+  parallel_for(
+      dirty_px_.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const std::uint32_t p = dirty_px_[i];
+          double acc = bg[p];
+          for (std::uint32_t k = px_start_[p]; k < px_start_[p + 1]; ++k)
+            acc += static_cast<double>(px_frac_[k]) * adose[px_shot_[k]];
+          base[p] = acc;
+        }
+      },
+      opt_.threads);
+  perf_.delta_accumulate_ms += ms_since(t0);
+  perf_.shots_updated +=
+      static_cast<long long>(moved_active.size() + moved_ghost.size());
+  ++perf_.delta_refreshes;
+  // Blur. Under FFT the full-map blur of the now bitwise-fresh base is
+  // itself bitwise what a fresh evaluator computes. Under direct, a
+  // windowed blur over the dirty tiles is bit-exact (see
+  // blur_long_range_windowed; allow_fft=false keeps it that way) — pixels
+  // outside them already hold full-blur values because their entire kernel
+  // support is clean. The base changed at exactly the dirty pixels (the
+  // recompute may shift low bits even where a prior windowed patch ran),
+  // so the tiles to patch derive from the dirty set, not just this call's
+  // movers.
+  if (use_fft_) {
+    blur_long_range();
+  } else {
+    const int nx = long_base_->width();
+    for (const std::uint32_t p : dirty_px_) {
+      const int x = static_cast<int>(p) % nx;
+      const int y = static_cast<int>(p) / nx;
+      mark_blur_tiles_region(x, y, x, y);
+    }
+    if (!blur_long_range_windowed(/*allow_fft=*/false)) blur_long_range();
+  }
+  clear_dirty();
   short_cache_valid_ = false;
   delta_streak_ = 0;
 }

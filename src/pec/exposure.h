@@ -155,6 +155,13 @@ struct BlurPerf {
   int skipped_refreshes = 0;  ///< set_* calls where no dose moved at all
   long long shots_updated = 0;  ///< shots re-weighted across delta refreshes
 
+  // Windowed delta-blur accounting: delta refreshes whose long-range blur
+  // ran on a sub-window around the touched region instead of the full map
+  // (see ExposureOptions::delta_threshold and docs/architecture.md). The
+  // time is a subset of blur_ms.
+  int windowed_blurs = 0;         ///< blurs served by the windowed path
+  double windowed_blur_ms = 0.0;  ///< time inside those windowed blurs
+
   /// Fold another evaluator's counters into this one (sharded solves
   /// aggregate their per-shard evaluators; summation order is the caller's).
   void merge(const BlurPerf& o) {
@@ -165,6 +172,8 @@ struct BlurPerf {
     delta_refreshes += o.delta_refreshes;
     skipped_refreshes += o.skipped_refreshes;
     shots_updated += o.shots_updated;
+    windowed_blurs += o.windowed_blurs;
+    windowed_blur_ms += o.windowed_blur_ms;
   }
 };
 
@@ -268,9 +277,37 @@ class ExposureEvaluator {
   void rebuild_ghost_base();
   void accumulate_long_range();
   void blur_long_range();
+  // Windowed blur: merges the marked blur tiles (see mark_blur_tiles) into
+  // patch rectangles and re-derives every term map only on those, each from
+  // its own support window W = dilate(P, r), when the summed flop model says
+  // the windows beat one full-map blur. Patching per rectangle instead of
+  // one union bbox lets spatially scattered movers (a ring of boundary
+  // shots, a handful of islands) window — their union bbox would cover the
+  // whole map. Under the direct backend the patched values are
+  // bit-identical to a full-map separable blur (each window carries its
+  // patch's entire kernel support, and clipped window edges coincide with
+  // map edges); allow_fft additionally permits a snug FFT sub-plan per
+  // window, which agrees to rounding only — callers that must stay bitwise
+  // pass false. Returns false (and blurs nothing) when the windows would
+  // not win; the caller then runs blur_long_range(), which also clears the
+  // tile marks.
+  bool blur_long_range_windowed(bool allow_fft);
 
   // Delta-path internals (see ExposureOptions::delta_threshold).
   bool delta_capable() const;
+  // Shared exact-delta core of reset_doses / set_background_doses: with the
+  // moved doses already applied to shots_, restores the evaluator to the
+  // bitwise state of a fresh construction at O(touched + ghost re-raster)
+  // cost. Marks the moved shots' footprints (actives via the splat CSR,
+  // ghosts via coverage re-visits) plus every pixel earlier delta scatters
+  // perturbed as dirty, re-rasters the frozen ghost map when ghosts moved,
+  // recomputes the dirty pixels with the full-gather arithmetic, then
+  // re-blurs (windowed-direct when bit-exact and cheaper, full otherwise).
+  // Falls back to the full rebuild when the touched set outgrows half the
+  // map — pre-estimated from footprint sizes before any marking.
+  // @p moved_ghost holds ghost-relative indices (0 = shots_[active_]).
+  void exact_delta_refresh(const std::vector<std::uint32_t>& moved_active,
+                           const std::vector<std::uint32_t>& moved_ghost);
   void update_doses(const double* doses, std::size_t begin, std::size_t end,
                     bool include_background);
   void apply_full(const double* doses, std::size_t begin, std::size_t end);
@@ -336,7 +373,42 @@ class ExposureEvaluator {
   bool use_fft_ = false;
   int max_radius_ = 0;
   std::unique_ptr<FftConvolver> convolver_;  // created lazily on first FFT use
+  std::vector<int> term_kernel_ids_;  // registered kernel slot per term map
   BlurPerf perf_;
+
+  // Windowed-blur scratch (see blur_long_range_windowed): extracted window,
+  // per-term outputs, and a lazily planned snug FFT sub-plan with the term
+  // kernels registered (rebuilt when the window size changes).
+  std::vector<double> win_src_;
+  std::vector<std::vector<double>> win_out_;
+  std::unique_ptr<FftConvolver> win_conv_;
+  std::vector<int> win_ids_;
+
+  // Dirty-pixel tracking for exact background refreshes: every base-map
+  // pixel a delta scatter has touched since the last full gather (the last
+  // point where the whole evaluator state was bitwise that of a fresh
+  // construction). set_background_doses re-derives exactly these pixels
+  // (plus changed-ghost footprints) with full-gather arithmetic, which
+  // restores global bitwise freshness at O(touched) cost. Tracked only for
+  // split evaluators (ghost_base_ set); overflow past half the map flips
+  // dirty_overflow_ and routes the next refresh through the full path.
+  std::vector<std::uint8_t> dirty_mask_;
+  std::vector<std::uint32_t> dirty_px_;
+  bool dirty_overflow_ = false;
+  void mark_dirty(std::uint32_t p);
+  void clear_dirty();
+
+  // Tile-granular touch mask feeding the windowed blur: the map is carved
+  // into fixed-size tiles, and the delta paths mark every tile intersecting
+  // a moved footprint's patch region (the footprint dilated by the widest
+  // kernel support). blur_long_range_windowed consumes and the next full
+  // blur resets the marks.
+  int tile_nx_ = 0, tile_ny_ = 0;
+  std::vector<std::uint8_t> blur_tiles_;
+  int tiles_marked_ = 0;
+  void mark_blur_tiles_region(int ax, int ay, int bx, int by);
+  void mark_blur_tiles(const Box& bb);
+  void clear_blur_tiles();
 
   // Active-centroid cache (query points of the sweep) and the cached
   // short-range analytic sums at them. The cache is rebuilt on the next

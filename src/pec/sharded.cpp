@@ -156,6 +156,8 @@ BlurPerf perf_since(const BlurPerf& now, const BlurPerf& then) {
   d.delta_refreshes -= then.delta_refreshes;
   d.skipped_refreshes -= then.skipped_refreshes;
   d.shots_updated -= then.shots_updated;
+  d.windowed_blurs -= then.windowed_blurs;
+  d.windowed_blur_ms -= then.windowed_blur_ms;
   return d;
 }
 
@@ -693,6 +695,11 @@ Coord default_shard_size(const Psf& psf, const PecOptions& options) {
   constexpr Coord64 kSlackPx = 48;  // sampling margin + shot-overhang allowance
   const double base_side =
       double(base + 2 * halo) / double(pixel) + double(radius) + double(kSlackPx);
+  // Keep the pow2 growth policy even though the mixed-radix planner accepts
+  // any even 5-smooth size: shrinking shards to the nearest fast size yields
+  // more shards, and the extra per-shard refresh/halo overhead costs more
+  // than the snugger transforms save. A power of two is itself 5-smooth, so
+  // the plan stays snug on this grid.
   std::size_t padded = fft_next_pow2(static_cast<std::size_t>(std::ceil(base_side)));
   for (;;) {
     const Coord64 snug =

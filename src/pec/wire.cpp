@@ -197,6 +197,8 @@ void put_perf(Writer& w, const BlurPerf& p) {
   w.i32(p.delta_refreshes);
   w.i32(p.skipped_refreshes);
   w.i64(p.shots_updated);
+  w.i32(p.windowed_blurs);
+  w.f64(p.windowed_blur_ms);
 }
 
 BlurPerf get_perf(Reader& r) {
@@ -208,6 +210,8 @@ BlurPerf get_perf(Reader& r) {
   p.delta_refreshes = r.i32();
   p.skipped_refreshes = r.i32();
   p.shots_updated = r.i64();
+  p.windowed_blurs = r.i32();
+  p.windowed_blur_ms = r.f64();
   return p;
 }
 

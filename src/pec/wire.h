@@ -42,7 +42,11 @@ inline constexpr std::uint32_t kMagic = 0x574C4245;  // "EBLW" little-endian
 /// v2: CRC-32 payload trailer appended to every frame. Readers reject skew
 /// in both directions — a v1 stream has no trailer and a v1 reader would
 /// misparse a v2 stream, so neither may be silently accepted.
-inline constexpr std::uint32_t kVersion = 2;
+/// v3: BlurPerf gained the windowed delta-blur counters (windowed_blurs,
+/// windowed_blur_ms), so shard results grew by 12 payload bytes. Same skew
+/// rule: a v2 reader would misparse a v3 result and vice versa, so the
+/// header version must match exactly.
+inline constexpr std::uint32_t kVersion = 3;
 /// Written as-is by every encoder; a reader that sees its bytes reversed is
 /// looking at a stream produced by a writer that did not follow the
 /// little-endian convention (or at garbage) and must reject it.

@@ -63,24 +63,44 @@ Raster simulate_exposure(const ShotList& shots, const Psf& psf,
   for (std::size_t t = 0; t < terms.size(); ++t) {
     if (use_fft[t]) max_radius = std::max(max_radius, taps[t].size() - 1);
   }
+  // All FFT terms go through one registered batch: the shared forward
+  // transform is walked once with every term's cached spectrum applied in
+  // that single pass (see FftConvolver::convolve_registered).
+  std::vector<std::size_t> fft_terms;
+  std::vector<std::vector<double>> fft_blurred;
   if (max_radius > 0) {
     conv = std::make_unique<FftConvolver>(base.width(), base.height(),
                                           static_cast<int>(max_radius),
                                           options.threads);
     conv->load(base.data().data());
+    std::vector<int> ids;
+    std::vector<double*> outs;
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      if (!use_fft[t]) continue;
+      fft_terms.push_back(t);
+      ids.push_back(conv->add_kernel(taps[t]));
+    }
+    fft_blurred.resize(fft_terms.size());
+    for (std::vector<double>& b : fft_blurred) {
+      b.resize(base.data().size());
+      outs.push_back(b.data());
+    }
+    conv->convolve_registered(ids, outs);
   }
 
   Raster result(frame.bloated(margin), pixel);
   Raster blurred = base;  // reused scratch, same geometry for every term
+  std::size_t next_fft = 0;
   for (std::size_t t = 0; t < terms.size(); ++t) {
+    const double* in = nullptr;
     if (use_fft[t]) {
-      conv->convolve(taps[t], blurred.data().data());
+      in = fft_blurred[next_fft++].data();
     } else {
       blurred.data() = base.data();
       separable_blur(blurred, taps[t], options.threads);
+      in = blurred.data().data();
     }
     auto& out = result.data();
-    const auto& in = blurred.data();
     const double w = terms[t].weight;
     for (std::size_t i = 0; i < out.size(); ++i) out[i] += w * in[i];
   }

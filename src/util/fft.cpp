@@ -13,7 +13,14 @@ namespace {
 
 constexpr double kPi = 3.14159265358979323846;
 
-bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+// Radix-3/5 butterfly constants: cos/sin of the fifth roots of unity and
+// sin(pi/3). Literal values (17 digits) so the plans carry no libm
+// cross-platform wobble.
+constexpr double kSin60 = 0.86602540378443865;   // sqrt(3)/2
+constexpr double kCos72 = 0.30901699437494742;   // cos(2 pi / 5)
+constexpr double kCos144 = -0.80901699437494745; // cos(4 pi / 5)
+constexpr double kSin72 = 0.95105651629515353;   // sin(2 pi / 5)
+constexpr double kSin144 = 0.58778525229247314;  // sin(4 pi / 5)
 
 }  // namespace
 
@@ -23,58 +30,218 @@ std::size_t fft_next_pow2(std::size_t n) {
   return p;
 }
 
-Fft::Fft(std::size_t n) : n_(n) {
-  expects(is_pow2(n), "Fft: size must be a power of two");
-  rev_.resize(n_);
-  int bits = 0;
-  while ((std::size_t{1} << bits) < n_) ++bits;
-  for (std::size_t i = 0; i < n_; ++i) {
-    std::size_t r = 0;
-    for (int b = 0; b < bits; ++b) r |= ((i >> b) & 1u) << (bits - 1 - b);
-    rev_[i] = static_cast<std::uint32_t>(r);
-  }
-  // Stage-packed twiddles: the stage of butterfly span m stores the h = m/2
-  // factors exp(-2 pi i j / m) at offset h - 1 (offsets 0, 1, 3, 7, ...).
-  if (n_ > 1) tw_.resize(n_ - 1);
-  for (std::size_t m = 2; m <= n_; m <<= 1) {
-    const std::size_t h = m >> 1;
-    for (std::size_t j = 0; j < h; ++j) {
-      const double a = -2.0 * kPi * static_cast<double>(j) / static_cast<double>(m);
-      tw_[h - 1 + j] = {std::cos(a), std::sin(a)};
-    }
-  }
+bool fft_is_fast_size(std::size_t n) {
+  if (n == 0) return false;
+  for (const std::size_t r : {std::size_t{2}, std::size_t{3}, std::size_t{5}})
+    while (n % r == 0) n /= r;
+  return n == 1;
 }
 
-void Fft::transform(std::complex<double>* a, bool inverse) const {
-  for (std::size_t i = 0; i < n_; ++i) {
-    const std::size_t j = rev_[i];
-    if (i < j) std::swap(a[i], a[j]);
+std::size_t fft_next_fast(std::size_t n) {
+  if (n <= 1) return 1;
+  // The next power of two is always a candidate, and bounds the search: only
+  // odd-part factors 3^b * 5^c below it can seed something smaller.
+  std::size_t best = fft_next_pow2(n);
+  for (std::size_t p5 = 1; p5 < best; p5 *= 5) {
+    for (std::size_t p35 = p5; p35 < best; p35 *= 3) {
+      std::size_t v = p35;
+      while (v < n) v <<= 1;
+      best = std::min(best, v);
+    }
   }
-  // The twiddle's imaginary part flips sign for the inverse; everything else
-  // is identical, so one butterfly loop serves both directions.
-  const double s = inverse ? -1.0 : 1.0;
-  for (std::size_t m = 2; m <= n_; m <<= 1) {
-    const std::size_t h = m >> 1;
-    const std::complex<double>* w = &tw_[h - 1];
-    for (std::size_t k = 0; k < n_; k += m) {
-      for (std::size_t j = 0; j < h; ++j) {
-        const double wr = w[j].real();
-        const double wi = s * w[j].imag();
-        std::complex<double>& lo = a[k + j];
-        std::complex<double>& hi = a[k + j + h];
-        const double tr = hi.real() * wr - hi.imag() * wi;
-        const double ti = hi.real() * wi + hi.imag() * wr;
-        const double ur = lo.real();
-        const double ui = lo.imag();
-        lo = {ur + tr, ui + ti};
-        hi = {ur - tr, ui - ti};
+  return best;
+}
+
+std::size_t fft_next_fast_even(std::size_t n) {
+  if (n <= 2) return 2;
+  std::size_t best = fft_next_pow2(n);
+  for (std::size_t p5 = 1; p5 < best; p5 *= 5) {
+    for (std::size_t p35 = p5; p35 < best; p35 *= 3) {
+      std::size_t v = p35;
+      while (v < n) v <<= 1;
+      if (v & 1) v <<= 1;  // odd candidate: the family's next even member
+      best = std::min(best, v);
+    }
+  }
+  return best;
+}
+
+Fft::Fft(std::size_t n) : n_(n) {
+  expects(fft_is_fast_size(n), "Fft: size must be of the form 2^a * 3^b * 5^c");
+
+  // Stage order: radix-2 stages first, then 3, then 5. For pure powers of
+  // two this reproduces the classic radix-2 schedule (and its bit-reversal
+  // permutation) exactly, so pow2 plans compute bit-identical results to the
+  // radix-2-only engine this generalizes.
+  std::vector<std::uint32_t> factors;
+  std::size_t rem = n_;
+  for (const std::uint32_t r : {2u, 3u, 5u})
+    while (rem % r == 0) {
+      factors.push_back(r);
+      rem /= r;
+    }
+
+  // Digit-reversal permutation, built top-down: the LAST stage (radix r)
+  // combines the r sequences decimated by r, so they occupy the r sub-blocks
+  // in order, each recursively permuted by the remaining factors.
+  perm_.resize(n_);
+  struct Frame {
+    std::size_t arr, len, src, stride;
+    int fi;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, n_, 0, 1, static_cast<int>(factors.size()) - 1});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.len == 1) {
+      perm_[f.arr] = static_cast<std::uint32_t>(f.src);
+      continue;
+    }
+    const std::size_t r = factors[static_cast<std::size_t>(f.fi)];
+    const std::size_t sub = f.len / r;
+    for (std::size_t q = 0; q < r; ++q)
+      stack.push_back({f.arr + q * sub, sub, f.src + q * f.stride, f.stride * r,
+                       f.fi - 1});
+  }
+  // Pure-radix permutations are involutions (bit reversal being the radix-2
+  // case) and permute in place by pair swaps; mixed digit reversals need a
+  // gather through scratch.
+  perm_is_swap_ = true;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (perm_[perm_[i]] != i) {
+      perm_is_swap_ = false;
+      break;
+    }
+  }
+
+  // Stage table and packed twiddles: the stage growing sub-transforms from h
+  // to m = radix * h stores exp(-2 pi i q j / m), q = 1..radix-1, j < h.
+  std::size_t total = 0;
+  std::size_t h = 1;
+  for (const std::uint32_t r : factors) {
+    stages_.push_back({r, h, total});
+    total += (r - 1) * h;
+    h *= r;
+  }
+  tw_.resize(total);
+  for (const Stage& st : stages_) {
+    const std::size_t m = st.h * st.radix;
+    for (std::uint32_t q = 1; q < st.radix; ++q) {
+      for (std::size_t j = 0; j < st.h; ++j) {
+        const double a = -2.0 * kPi * static_cast<double>(q) *
+                         static_cast<double>(j) / static_cast<double>(m);
+        tw_[st.off + (q - 1) * st.h + j] = {std::cos(a), std::sin(a)};
       }
     }
   }
 }
 
-RealFft::RealFft(std::size_t n) : n_(n), half_(is_pow2(n) && n >= 2 ? n / 2 : 1) {
-  expects(is_pow2(n) && n >= 2, "RealFft: size must be a power of two >= 2");
+void Fft::transform(std::complex<double>* a, bool inverse) const {
+  if (n_ <= 1) return;
+  if (perm_is_swap_) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t j = perm_[i];
+      if (i < j) std::swap(a[i], a[j]);
+    }
+  } else {
+    thread_local std::vector<std::complex<double>> scratch;
+    scratch.resize(n_);
+    std::memcpy(scratch.data(), a, n_ * sizeof(a[0]));
+    for (std::size_t i = 0; i < n_; ++i) a[i] = scratch[perm_[i]];
+  }
+
+  // The twiddles' imaginary parts flip sign for the inverse; everything else
+  // is identical, so one loop per radix serves both directions.
+  const double s = inverse ? -1.0 : 1.0;
+  for (const Stage& st : stages_) {
+    const std::size_t h = st.h;
+    const std::size_t m = h * st.radix;
+    const std::complex<double>* w = tw_.data() + st.off;
+    switch (st.radix) {
+      case 2:
+        for (std::size_t k = 0; k < n_; k += m) {
+          for (std::size_t j = 0; j < h; ++j) {
+            const double wr = w[j].real();
+            const double wi = s * w[j].imag();
+            std::complex<double>& lo = a[k + j];
+            std::complex<double>& hi = a[k + j + h];
+            const double tr = hi.real() * wr - hi.imag() * wi;
+            const double ti = hi.real() * wi + hi.imag() * wr;
+            const double ur = lo.real();
+            const double ui = lo.imag();
+            lo = {ur + tr, ui + ti};
+            hi = {ur - tr, ui - ti};
+          }
+        }
+        break;
+      case 3:
+        for (std::size_t k = 0; k < n_; k += m) {
+          for (std::size_t j = 0; j < h; ++j) {
+            const double w1r = w[j].real(), w1i = s * w[j].imag();
+            const double w2r = w[h + j].real(), w2i = s * w[h + j].imag();
+            const std::complex<double> b1 = a[k + j + h];
+            const std::complex<double> b2 = a[k + j + 2 * h];
+            const double z1r = b1.real() * w1r - b1.imag() * w1i;
+            const double z1i = b1.real() * w1i + b1.imag() * w1r;
+            const double z2r = b2.real() * w2r - b2.imag() * w2i;
+            const double z2i = b2.real() * w2i + b2.imag() * w2r;
+            const double z0r = a[k + j].real();
+            const double z0i = a[k + j].imag();
+            // X0 = z0 + (z1 + z2); X1,2 = z0 - (z1+z2)/2 -+ i s (sqrt3/2)(z1-z2)
+            const double ur = z1r + z2r, ui = z1i + z2i;
+            const double vr = z1r - z2r, vi = z1i - z2i;
+            const double m1r = z0r - 0.5 * ur, m1i = z0i - 0.5 * ui;
+            const double m2r = s * kSin60 * vi, m2i = -s * kSin60 * vr;
+            a[k + j] = {z0r + ur, z0i + ui};
+            a[k + j + h] = {m1r + m2r, m1i + m2i};
+            a[k + j + 2 * h] = {m1r - m2r, m1i - m2i};
+          }
+        }
+        break;
+      default:  // radix 5
+        for (std::size_t k = 0; k < n_; k += m) {
+          for (std::size_t j = 0; j < h; ++j) {
+            double zr[5], zi[5];
+            zr[0] = a[k + j].real();
+            zi[0] = a[k + j].imag();
+            for (std::uint32_t q = 1; q < 5; ++q) {
+              const std::complex<double> wq = w[(q - 1) * h + j];
+              const double wr = wq.real(), wi = s * wq.imag();
+              const std::complex<double> b = a[k + j + q * h];
+              zr[q] = b.real() * wr - b.imag() * wi;
+              zi[q] = b.real() * wi + b.imag() * wr;
+            }
+            const double t1r = zr[1] + zr[4], t1i = zi[1] + zi[4];
+            const double t2r = zr[2] + zr[3], t2i = zi[2] + zi[3];
+            const double t3r = zr[1] - zr[4], t3i = zi[1] - zi[4];
+            const double t4r = zr[2] - zr[3], t4i = zi[2] - zi[3];
+            const double m1r = zr[0] + kCos72 * t1r + kCos144 * t2r;
+            const double m1i = zi[0] + kCos72 * t1i + kCos144 * t2i;
+            const double m2r = zr[0] + kCos144 * t1r + kCos72 * t2r;
+            const double m2i = zi[0] + kCos144 * t1i + kCos72 * t2i;
+            const double u1r = kSin72 * t3r + kSin144 * t4r;
+            const double u1i = kSin72 * t3i + kSin144 * t4i;
+            const double u2r = kSin144 * t3r - kSin72 * t4r;
+            const double u2i = kSin144 * t3i - kSin72 * t4i;
+            a[k + j] = {zr[0] + t1r + t2r, zi[0] + t1i + t2i};
+            // X_q = m -+ i s u: multiplying u by -i s adds (s u_i, -s u_r).
+            a[k + j + h] = {m1r + s * u1i, m1i - s * u1r};
+            a[k + j + 2 * h] = {m2r + s * u2i, m2i - s * u2r};
+            a[k + j + 3 * h] = {m2r - s * u2i, m2i + s * u2r};
+            a[k + j + 4 * h] = {m1r - s * u1i, m1i + s * u1r};
+          }
+        }
+        break;
+    }
+  }
+}
+
+RealFft::RealFft(std::size_t n)
+    : n_(n),
+      half_(n >= 2 && n % 2 == 0 && fft_is_fast_size(n) ? n / 2 : 1) {
+  expects(n >= 2 && n % 2 == 0 && fft_is_fast_size(n),
+          "RealFft: size must be an even 2^a * 3^b * 5^c >= 2");
   // Untangle twiddles exp(-2 pi i k / n) for the paired bins k = 0 .. n/4.
   w_.resize(n_ / 4 + 1);
   for (std::size_t k = 0; k < w_.size(); ++k) {
@@ -97,6 +264,8 @@ void RealFft::forward(const double* in, std::complex<double>* spec) const {
   // Untangle: with Ze/Zo the even/odd-sample spectra hidden in Z,
   //   X[k]     = Ze + w^k Zo,
   //   X[h - k] = conj(Ze - w^k Zo),        w^k = exp(-2 pi i k / n).
+  // For odd h the loop to k = h/2 (rounded down) still pairs every bin
+  // exactly once — there is just no self-paired middle bin.
   const std::complex<double> z0 = spec[0];
   spec[0] = {z0.real() + z0.imag(), 0.0};
   spec[h] = {z0.real() - z0.imag(), 0.0};
@@ -148,8 +317,10 @@ FftConvolver::FftConvolver(int nx, int ny, int max_radius, int threads)
       ny_(ny),
       max_radius_(max_radius),
       threads_(threads),
-      px_(fft_next_pow2(static_cast<std::size_t>(nx) + static_cast<std::size_t>(std::max(1, max_radius)))),
-      py_(fft_next_pow2(static_cast<std::size_t>(ny) + static_cast<std::size_t>(std::max(1, max_radius)))),
+      px_(fft_next_fast_even(static_cast<std::size_t>(nx) +
+                             static_cast<std::size_t>(std::max(1, max_radius)))),
+      py_(fft_next_fast(static_cast<std::size_t>(ny) +
+                        static_cast<std::size_t>(std::max(1, max_radius)))),
       w_(px_ / 2 + 1),
       row_(px_),  // nx, max_radius >= 1 makes px_ >= 2, as RealFft requires
       col_(py_) {
@@ -212,19 +383,16 @@ void FftConvolver::load(const double* img) {
       threads_);
 }
 
-void FftConvolver::convolve(const std::vector<double>& taps, double* out) const {
-  expects(!taps.empty(), "FftConvolver::convolve: empty kernel");
-  expects(static_cast<int>(taps.size()) - 1 <= max_radius_,
-          "FftConvolver::convolve: kernel wider than the planned max_radius");
-  work_.resize(spec_.size());
-
+void FftConvolver::make_spectra(const std::vector<double>& taps,
+                                KernelSpec& ks) const {
   // Exact spectra of the truncated symmetric kernel along each padded axis:
   // K[m] = t0 + 2 sum_j t[j] cos(2 pi j m / P). The inverse-transform
   // scaling (1/py for the column FFT, 2/px for the packed row FFT) is folded
   // into kx so the spectral multiply is the only scaled pass.
   const std::size_t radius = taps.size() - 1;
-  std::vector<double> kx(w_);
-  std::vector<double> ky(py_);
+  ks.taps = taps;
+  ks.kx.resize(w_);
+  ks.ky.resize(py_);
   const double scale =
       1.0 / (static_cast<double>(py_) * (static_cast<double>(px_) / 2.0));
   for (std::size_t m = 0; m < w_; ++m) {
@@ -234,7 +402,7 @@ void FftConvolver::convolve(const std::vector<double>& taps, double* out) const 
            std::cos(2.0 * kPi * static_cast<double>(j) * static_cast<double>(m) /
                     static_cast<double>(px_));
     }
-    kx[m] = v * scale;
+    ks.kx[m] = v * scale;
   }
   for (std::size_t m = 0; m < py_; ++m) {
     double v = taps[0];
@@ -243,59 +411,121 @@ void FftConvolver::convolve(const std::vector<double>& taps, double* out) const 
            std::cos(2.0 * kPi * static_cast<double>(j) * static_cast<double>(m) /
                     static_cast<double>(py_));
     }
-    ky[m] = v;
+    ks.ky[m] = v;
   }
+}
 
-  // Column pass: multiply the cached spectrum by the separable kernel
-  // spectrum and inverse-transform each column into the scratch spectrum.
+int FftConvolver::add_kernel(const std::vector<double>& taps) {
+  expects(!taps.empty(), "FftConvolver::add_kernel: empty kernel");
+  expects(static_cast<int>(taps.size()) - 1 <= max_radius_,
+          "FftConvolver::add_kernel: kernel wider than the planned max_radius");
+  for (std::size_t i = 0; i < kernels_.size(); ++i)
+    if (kernels_[i].taps == taps) return static_cast<int>(i);
+  KernelSpec ks;
+  make_spectra(taps, ks);
+  kernels_.push_back(std::move(ks));
+  return static_cast<int>(kernels_.size()) - 1;
+}
+
+void FftConvolver::apply(const std::vector<const KernelSpec*>& ks,
+                         const std::vector<double*>& outs) const {
+  const std::size_t nk = ks.size();
+  if (work_.size() < nk) work_.resize(nk);
+  for (std::size_t n = 0; n < nk; ++n) work_[n].resize(spec_.size());
+
+  // Column pass: one walk over the cached forward transform serves every
+  // kernel — the loaded column stays hot while each kernel multiplies it by
+  // its separable spectrum and inverse-transforms into its own scratch.
   parallel_for(
       w_,
       [&](std::size_t c0, std::size_t c1) {
         for (std::size_t w = c0; w < c1; ++w) {
           const std::complex<double>* src = spec_.data() + w * py_;
-          std::complex<double>* dst = work_.data() + w * py_;
-          const double cw = kx[w];
-          for (std::size_t y = 0; y < py_; ++y) dst[y] = src[y] * (cw * ky[y]);
-          col_.inverse(dst);
+          for (std::size_t n = 0; n < nk; ++n) {
+            std::complex<double>* dst = work_[n].data() + w * py_;
+            const double cw = ks[n]->kx[w];
+            const double* ky = ks[n]->ky.data();
+            for (std::size_t y = 0; y < py_; ++y) dst[y] = src[y] * (cw * ky[y]);
+            col_.inverse(dst);
+          }
         }
       },
       threads_);
 
-  // Row pass: gather each image row's bins back out of the column-major
-  // scratch (block-transposed) and real-inverse-transform; rows in the
-  // padding are never materialized.
+  // Row pass per kernel: gather each image row's bins back out of the
+  // column-major scratch (block-transposed) and real-inverse-transform;
+  // rows in the padding are never materialized.
   const std::size_t nblocks =
       (static_cast<std::size_t>(ny_) + kRowBlock - 1) / kRowBlock;
-  parallel_for(
-      nblocks,
-      [&](std::size_t b0, std::size_t b1) {
-        thread_local std::vector<double> rowbuf;
-        thread_local std::vector<std::complex<double>> blockspec;
-        rowbuf.resize(px_);
-        blockspec.resize(kRowBlock * w_);
-        for (std::size_t b = b0; b < b1; ++b) {
-          const std::size_t y0 = b * kRowBlock;
-          const std::size_t rows = std::min(kRowBlock, static_cast<std::size_t>(ny_) - y0);
-          for (std::size_t w = 0; w < w_; ++w) {
-            const std::complex<double>* src = work_.data() + w * py_ + y0;
-            for (std::size_t r = 0; r < rows; ++r) blockspec[r * w_ + w] = src[r];
+  for (std::size_t n = 0; n < nk; ++n) {
+    const std::vector<std::complex<double>>& work = work_[n];
+    double* out = outs[n];
+    parallel_for(
+        nblocks,
+        [&](std::size_t b0, std::size_t b1) {
+          thread_local std::vector<double> rowbuf;
+          thread_local std::vector<std::complex<double>> blockspec;
+          rowbuf.resize(px_);
+          blockspec.resize(kRowBlock * w_);
+          for (std::size_t b = b0; b < b1; ++b) {
+            const std::size_t y0 = b * kRowBlock;
+            const std::size_t rows =
+                std::min(kRowBlock, static_cast<std::size_t>(ny_) - y0);
+            for (std::size_t w = 0; w < w_; ++w) {
+              const std::complex<double>* src = work.data() + w * py_ + y0;
+              for (std::size_t r = 0; r < rows; ++r) blockspec[r * w_ + w] = src[r];
+            }
+            for (std::size_t r = 0; r < rows; ++r) {
+              row_.inverse(blockspec.data() + r * w_, rowbuf.data());
+              std::memcpy(out + (y0 + r) * static_cast<std::size_t>(nx_), rowbuf.data(),
+                          sizeof(double) * static_cast<std::size_t>(nx_));
+            }
           }
-          for (std::size_t r = 0; r < rows; ++r) {
-            row_.inverse(blockspec.data() + r * w_, rowbuf.data());
-            std::memcpy(out + (y0 + r) * static_cast<std::size_t>(nx_), rowbuf.data(),
-                        sizeof(double) * static_cast<std::size_t>(nx_));
-          }
-        }
-      },
-      threads_);
+        },
+        threads_);
+  }
+}
+
+void FftConvolver::convolve(const std::vector<double>& taps, double* out) const {
+  expects(!taps.empty(), "FftConvolver::convolve: empty kernel");
+  expects(static_cast<int>(taps.size()) - 1 <= max_radius_,
+          "FftConvolver::convolve: kernel wider than the planned max_radius");
+  // Registered kernels are served from the plan's spectrum cache; ad-hoc
+  // kernels derive their spectra on the spot (same arithmetic either way).
+  for (const KernelSpec& ks : kernels_) {
+    if (ks.taps == taps) {
+      apply({&ks}, {out});
+      return;
+    }
+  }
+  KernelSpec ks;
+  make_spectra(taps, ks);
+  apply({&ks}, {out});
+}
+
+void FftConvolver::convolve_registered(const std::vector<int>& ids,
+                                       const std::vector<double*>& outs) const {
+  expects(ids.size() == outs.size(),
+          "FftConvolver::convolve_registered: ids/outs size mismatch");
+  if (ids.empty()) return;
+  std::vector<const KernelSpec*> ks;
+  ks.reserve(ids.size());
+  for (const int id : ids) {
+    expects(id >= 0 && id < kernel_count(),
+            "FftConvolver::convolve_registered: unknown kernel id");
+    ks.push_back(&kernels_[static_cast<std::size_t>(id)]);
+  }
+  apply(ks, outs);
 }
 
 double FftConvolver::transform_cost(int nx, int ny, int max_radius) {
-  const double px = static_cast<double>(
-      fft_next_pow2(static_cast<std::size_t>(nx) + static_cast<std::size_t>(std::max(1, max_radius))));
-  const double py = static_cast<double>(
-      fft_next_pow2(static_cast<std::size_t>(ny) + static_cast<std::size_t>(std::max(1, max_radius))));
-  // ~2.5 flops per point per log2 level for a real-optimized transform.
+  const double px = static_cast<double>(fft_next_fast_even(
+      static_cast<std::size_t>(nx) + static_cast<std::size_t>(std::max(1, max_radius))));
+  const double py = static_cast<double>(fft_next_fast(
+      static_cast<std::size_t>(ny) + static_cast<std::size_t>(std::max(1, max_radius))));
+  // ~2.5 flops per point per log2 level for a real-optimized transform
+  // (radix-3/5 stages cost slightly more per level, but log2 of the snug
+  // mixed-radix size remains the right work proxy).
   return 2.5 * px * py * (std::log2(px) + std::log2(py));
 }
 

@@ -1,4 +1,4 @@
-// Dependency-free iterative radix-2 FFT and a 2D real convolution engine.
+// Dependency-free iterative mixed-radix FFT and a 2D real convolution engine.
 //
 // Built for the PEC/simulation blur path: a raster is convolved with several
 // wide separable kernels per iteration, which is the textbook case for a
@@ -7,12 +7,14 @@
 // and the forward transform amortizes over kernels.
 //
 // Layers (bottom up):
-//   - Fft: in-place iterative radix-2 complex transform for one power-of-two
-//     size; bit-reversal and per-stage twiddles are precomputed at plan time
-//     so the hot loop is butterflies only.
-//   - RealFft: real-input/real-output transform of size n via the packed
-//     half-size complex FFT (two real samples per complex slot), producing
-//     the n/2+1 non-redundant bins.
+//   - Fft: in-place iterative complex transform for one 5-smooth size
+//     (2^a * 3^b * 5^c); the digit-reversal permutation and per-stage
+//     twiddles are precomputed at plan time so the hot loop is radix-2/3/5
+//     butterflies only. Mixed-radix plans pad far less than power-of-two
+//     ones (worst-case zero-padding drops from ~2x to ~1.2x per axis).
+//   - RealFft: real-input/real-output transform of even 5-smooth size n via
+//     the packed half-size complex FFT (two real samples per complex slot),
+//     producing the n/2+1 non-redundant bins.
 //   - FftConvolver: a 2D plan for images of one fixed size. Rows are
 //     transformed with RealFft and columns with Fft; both passes run on the
 //     util/parallel.h thread pool through cache-tiled transposes. Kernels
@@ -20,8 +22,14 @@
 //     +-j); their spectra are evaluated as exact cosine sums, so the result
 //     equals the direct sliding-window convolution of the *same truncated
 //     kernel* to floating-point rounding — not an analytic approximation.
-//     Zero padding to the next power of two past the kernel support makes
-//     the convolution linear (zero boundaries), never circular.
+//     Zero padding to the next fast size past the kernel support makes the
+//     convolution linear (zero boundaries), never circular. Kernels that
+//     recur (the PEC terms, fixed for an evaluator's lifetime) register once
+//     via add_kernel(), which caches their axis spectra in the plan;
+//     convolve_registered() then applies any set of registered kernels in
+//     one pass over the cached forward transform (N fused multiplies and N
+//     inverse column transforms per column walk) instead of re-deriving
+//     spectra and re-walking the spectrum per kernel.
 //
 // Determinism: every output element is computed in a fixed sequential order
 // by exactly one chunk, so results are bit-identical for any thread count
@@ -38,10 +46,21 @@ namespace ebl {
 /// Smallest power of two >= n (n >= 1).
 std::size_t fft_next_pow2(std::size_t n);
 
-/// In-place iterative radix-2 complex FFT plan for one power-of-two size.
+/// True when n factors completely over {2, 3, 5} (an Fft-supported size).
+bool fft_is_fast_size(std::size_t n);
+
+/// Smallest 5-smooth number (2^a * 3^b * 5^c) >= n — the snuggest padded
+/// size the mixed-radix engine transforms. Never exceeds fft_next_pow2(n).
+std::size_t fft_next_fast(std::size_t n);
+
+/// Smallest *even* 5-smooth number >= n (RealFft packs two samples per
+/// complex slot, so row transforms need an even padded size).
+std::size_t fft_next_fast_even(std::size_t n);
+
+/// In-place iterative mixed-radix complex FFT plan for one 5-smooth size.
 class Fft {
  public:
-  explicit Fft(std::size_t n);  ///< n must be a power of two (>= 1)
+  explicit Fft(std::size_t n);  ///< n must be 2^a * 3^b * 5^c (>= 1)
 
   std::size_t size() const { return n_; }
 
@@ -55,17 +74,28 @@ class Fft {
  private:
   void transform(std::complex<double>* a, bool inverse) const;
 
+  // One decimation-in-time stage: h butterflies of the given radix per block
+  // of m = radix * h elements, twiddles exp(-2 pi i q j / m) for
+  // q = 1..radix-1 packed contiguously at tw_[off + (q-1) * h + j].
+  struct Stage {
+    std::uint32_t radix;
+    std::size_t h;
+    std::size_t off;
+  };
+
   std::size_t n_;
-  std::vector<std::uint32_t> rev_;           // bit-reversal permutation
-  std::vector<std::complex<double>> tw_;     // stage-packed forward twiddles
+  std::vector<std::uint32_t> perm_;       // digit-reversal permutation
+  bool perm_is_swap_ = true;              // involution: permute by pair swaps
+  std::vector<Stage> stages_;
+  std::vector<std::complex<double>> tw_;  // stage-packed forward twiddles
 };
 
-/// Real-input FFT of even power-of-two size n, packed into the half-size
-/// complex transform. Spectra hold the n/2+1 non-redundant bins (DC through
+/// Real-input FFT of even 5-smooth size n, packed into the half-size complex
+/// transform. Spectra hold the n/2+1 non-redundant bins (DC through
 /// Nyquist); the upper half is implied by conjugate symmetry.
 class RealFft {
  public:
-  explicit RealFft(std::size_t n);  ///< n must be a power of two >= 2
+  explicit RealFft(std::size_t n);  ///< n must be even, 5-smooth, >= 2
 
   std::size_t size() const { return n_; }
 
@@ -92,9 +122,9 @@ class RealFft {
 class FftConvolver {
  public:
   /// Plans for nx-by-ny images and kernels of half-width up to max_radius
-  /// taps. Padded sizes are the next powers of two past nx + max_radius and
-  /// ny + max_radius, which is exactly enough to keep wraparound out of the
-  /// cropped output.
+  /// taps. Padded sizes are the next fast (5-smooth) sizes past
+  /// nx + max_radius and ny + max_radius, which is exactly enough to keep
+  /// wraparound out of the cropped output.
   FftConvolver(int nx, int ny, int max_radius, int threads = 0);
 
   int nx() const { return nx_; }
@@ -112,21 +142,55 @@ class FftConvolver {
   /// convolve calls on one plan must not run concurrently.
   void convolve(const std::vector<double>& taps, double* out) const;
 
+  /// Registers a kernel with the plan and returns its slot id; the kernel's
+  /// exact axis spectra are computed once here and reused by every
+  /// convolve_registered() for the plan's lifetime (per-term kernels never
+  /// change across PEC iterations, so this hoists the per-call cosine sums
+  /// out of the hot loop). Identical taps re-register to the same slot.
+  int add_kernel(const std::vector<double>& taps);
+
+  /// Number of registered kernels (slot ids are 0..kernel_count()-1).
+  int kernel_count() const { return static_cast<int>(kernels_.size()); }
+
+  /// outs[i] (row-major, nx*ny) <- loaded image convolved with registered
+  /// kernel ids[i]. All kernels' spectral multiplies run in one pass over
+  /// the cached forward transform: per column walk the transformed map is
+  /// loaded once, each kernel contributes one fused multiply and one inverse
+  /// column transform, then each kernel gets its row inverse pass. Same
+  /// aliasing and reentrancy rules as convolve().
+  void convolve_registered(const std::vector<int>& ids,
+                           const std::vector<double*>& outs) const;
+
   /// Flop estimate of one padded forward or inverse transform, for
   /// direct-vs-FFT backend decisions (see fft_blur_wins in pec/exposure.h,
   /// whose throughput calibration lives beside it in pec/exposure.cpp).
   static double transform_cost(int nx, int ny, int max_radius);
 
  private:
+  // Exact truncated-kernel axis spectra (see convolve() in fft.cpp): kx has
+  // the w_ row bins with the inverse scaling folded in, ky the py_ column
+  // bins.
+  struct KernelSpec {
+    std::vector<double> taps;
+    std::vector<double> kx;
+    std::vector<double> ky;
+  };
+
+  void make_spectra(const std::vector<double>& taps, KernelSpec& ks) const;
+  void apply(const std::vector<const KernelSpec*>& ks,
+             const std::vector<double*>& outs) const;
+
   int nx_, ny_;
   int max_radius_;
   int threads_;
-  std::size_t px_, py_;  // padded sizes (powers of two)
+  std::size_t px_, py_;  // padded sizes (5-smooth)
   std::size_t w_;        // px_/2 + 1 non-redundant row bins
   RealFft row_;
   Fft col_;
+  std::vector<KernelSpec> kernels_;                 // registered spectra
   std::vector<std::complex<double>> spec_;          // cached spectrum, column-major
-  mutable std::vector<std::complex<double>> work_;  // scratch spectrum (lazy)
+  // Scratch spectra (lazy), one per kernel of the largest batch applied.
+  mutable std::vector<std::vector<std::complex<double>>> work_;
 };
 
 }  // namespace ebl

@@ -186,6 +186,37 @@ TEST(ExposureEvaluator, SwitchingBackendReproducesFreshEvaluator) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "shot " << i;
 }
 
+TEST(ExposureEvaluator, RepeatedBackendTogglesWithDoseChangesStayExact) {
+  // The FFT plan caches every term's kernel spectrum for the evaluator's
+  // lifetime; a stale or mis-invalidated spectrum would surface as drift
+  // against a freshly built evaluator. Toggle backends repeatedly with dose
+  // changes in between and demand bitwise agreement each round.
+  const ShotList shots = pad_and_island();
+  const Psf psf = Psf::double_gaussian(50.0, 3000.0, 0.7);
+  ExposureOptions opt;
+  opt.blur_backend = BlurBackend::kFft;
+  opt.delta_threshold = 0.0;  // full refreshes: bitwise comparisons hold
+  ExposureEvaluator eval(shots, psf, opt);
+
+  std::vector<double> doses(shots.size(), 1.0);
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < doses.size(); ++i)
+      doses[i] = 1.0 + 0.002 * static_cast<double>((i + round) % 53);
+    eval.set_doses(doses);
+    eval.set_blur_backend(BlurBackend::kDirect);
+    eval.set_blur_backend(BlurBackend::kFft);
+
+    ShotList fresh_shots = shots;
+    for (std::size_t i = 0; i < doses.size(); ++i) fresh_shots[i].dose = doses[i];
+    ExposureEvaluator fresh(fresh_shots, psf, opt);
+    const auto a = eval.exposures_at_centroids();
+    const auto b = fresh.exposures_at_centroids();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_EQ(a[i], b[i]) << "round " << round << " shot " << i;
+  }
+}
+
 TEST(ExposureEvaluator, FftBackendBitIdenticalAcrossThreadCounts) {
   const ShotList shots = pad_and_island();
   const Psf psf = Psf::double_gaussian(50.0, 3000.0, 0.7);

@@ -186,6 +186,93 @@ TEST(DeltaPath, SubThresholdUpdatesAreDeferredThenApplied) {
   }
 }
 
+// Indices of the island shots (the small box far from the pad) — moving
+// only these keeps the touched region tiny so the windowed delta-blur wins
+// its flop model against re-blurring the whole map.
+std::vector<std::size_t> island_indices(const ShotList& shots) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < shots.size(); ++i) {
+    if (shots[i].shape.bbox().lo.x >= 40000) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<double> perturb_subset(const std::vector<double>& doses,
+                                   const std::vector<std::size_t>& subset,
+                                   int step) {
+  std::vector<double> out = doses;
+  std::uint64_t h = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(step + 1);
+  for (const std::size_t i : subset) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= i * 0xc4ceb9fe1a85ec53ull + 1;
+    out[i] *= 1.0 + 0.05 * (static_cast<double>(h % 1000) / 1000.0 - 0.5);
+  }
+  return out;
+}
+
+TEST(DeltaPath, WindowedBlurMatchesTheFullBlurOracle) {
+  // Localized updates (island only): the delta path refreshes the blur on a
+  // snug window around the island instead of the whole map. The windowed
+  // result must stay within the delta path's 1e-12 contract of the
+  // always-full oracle across a random trajectory.
+  const ShotList shots = pad_and_island();
+  const Psf psf = test_psf();
+  const std::vector<std::size_t> island = island_indices(shots);
+  ASSERT_FALSE(island.empty());
+
+  ExposureOptions delta_opt;
+  delta_opt.delta_threshold = 1e-15;
+  ExposureOptions full_opt;
+  full_opt.delta_threshold = 0.0;
+  ExposureEvaluator delta_eval(shots, psf, delta_opt);
+  ExposureEvaluator full_eval(shots, psf, full_opt);
+
+  std::vector<double> doses(shots.size(), 1.0);
+  for (int step = 0; step < 8; ++step) {
+    doses = perturb_subset(doses, island, step);
+    delta_eval.set_doses(doses);
+    full_eval.set_doses(doses);
+    const std::vector<double> a = delta_eval.exposures_at_centroids();
+    const std::vector<double> b = full_eval.exposures_at_centroids();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i], b[i], 1e-12) << "step " << step << " shot " << i;
+    }
+  }
+  EXPECT_GT(delta_eval.blur_perf().windowed_blurs, 0);
+  EXPECT_GT(delta_eval.blur_perf().windowed_blur_ms, 0.0);
+  EXPECT_LE(delta_eval.blur_perf().windowed_blur_ms,
+            delta_eval.blur_perf().blur_ms);
+  EXPECT_EQ(full_eval.blur_perf().windowed_blurs, 0);
+}
+
+TEST(DeltaPath, WindowedBlurBitIdenticalAcrossThreadCounts) {
+  const ShotList shots = pad_and_island();
+  const Psf psf = test_psf();
+  const std::vector<std::size_t> island = island_indices(shots);
+  std::vector<std::vector<double>> sweeps;
+  for (const int threads : {1, 4}) {
+    ExposureOptions opt;
+    opt.delta_threshold = 1e-15;
+    opt.threads = threads;
+    ExposureEvaluator eval(shots, psf, opt);
+    std::vector<double> doses(shots.size(), 1.0);
+    std::vector<double> last;
+    for (int step = 0; step < 6; ++step) {
+      doses = perturb_subset(doses, island, step);
+      eval.set_doses(doses);
+      last = eval.exposures_at_centroids();
+    }
+    EXPECT_GT(eval.blur_perf().windowed_blurs, 0) << threads << " threads";
+    sweeps.push_back(std::move(last));
+  }
+  ASSERT_EQ(sweeps[0].size(), sweeps[1].size());
+  for (std::size_t i = 0; i < sweeps[0].size(); ++i) {
+    EXPECT_EQ(sweeps[0][i], sweeps[1][i]) << "shot " << i;
+  }
+}
+
 TEST(DosePaths, SetBackgroundDosesIsBitwiseTheFreshEvaluator) {
   const ShotList shots = pad_and_island();
   const Psf psf = test_psf();
@@ -209,6 +296,44 @@ TEST(DosePaths, SetBackgroundDosesIsBitwiseTheFreshEvaluator) {
   const std::vector<double> b = fresh.exposures_at_centroids();
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "shot " << i;
+}
+
+TEST(DosePaths, BackgroundRefreshTakesTheDeltaRouteAndStaysBitwise) {
+  // The resident-shard entry point: when only a few ghost doses moved,
+  // set_background_doses must re-rasterize just those ghosts' footprints
+  // (counted as a delta refresh) and still land bit-identical to a fresh
+  // evaluator — the sharded pipeline's residency contract depends on it.
+  const ShotList shots = pad_and_island();
+  const Psf psf = test_psf();
+  const std::size_t na = shots.size() / 2;
+  ExposureEvaluator split(shots, na, psf);
+
+  std::vector<double> bg(shots.size() - na, 1.0);
+  for (int step = 0; step < 4; ++step) {
+    // Move a handful of ghost doses per step.
+    for (std::size_t k = static_cast<std::size_t>(step); k < bg.size();
+         k += bg.size() / 3 + 1) {
+      bg[k] *= 1.0 + 0.01 * (step + 1);
+    }
+    split.set_background_doses(bg);
+  }
+  EXPECT_GT(split.blur_perf().delta_refreshes, 0);
+  EXPECT_EQ(split.blur_perf().refreshes, 1);  // only the constructor's
+
+  ShotList fresh_shots = shots;
+  for (std::size_t i = na; i < shots.size(); ++i) fresh_shots[i].dose = bg[i - na];
+  ExposureEvaluator fresh(fresh_shots, na, psf);
+  const std::vector<double> a = split.exposures_at_centroids();
+  const std::vector<double> b = fresh.exposures_at_centroids();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "shot " << i;
+
+  // Re-sending identical background doses skips the refresh outright.
+  const int skipped0 = split.blur_perf().skipped_refreshes;
+  split.set_background_doses(bg);
+  EXPECT_EQ(split.blur_perf().skipped_refreshes, skipped0 + 1);
+  const std::vector<double> c = split.exposures_at_centroids();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c[i], a[i]) << "shot " << i;
 }
 
 TEST(DosePaths, ResetDosesIsBitwiseTheFreshEvaluator) {

@@ -127,6 +127,8 @@ TEST(Wire, ResultRoundTripIsBitExact) {
   r.perf.delta_refreshes = 4;
   r.perf.skipped_refreshes = 5;
   r.perf.shots_updated = 1234567890123LL;
+  r.perf.windowed_blurs = 6;
+  r.perf.windowed_blur_ms = 0.125;
   r.doses = {0.1, 2.0 / 3.0, std::nextafter(1.0, 0.0)};
   r.changed = {1, 0, 1};
   r.pool_resident = 7;
@@ -142,6 +144,8 @@ TEST(Wire, ResultRoundTripIsBitExact) {
   EXPECT_EQ(back.optimistic, r.optimistic);
   EXPECT_EQ(back.perf.refreshes, r.perf.refreshes);
   EXPECT_EQ(back.perf.shots_updated, r.perf.shots_updated);
+  EXPECT_EQ(back.perf.windowed_blurs, r.perf.windowed_blurs);
+  EXPECT_EQ(bits(back.perf.windowed_blur_ms), bits(r.perf.windowed_blur_ms));
   ASSERT_EQ(back.doses.size(), r.doses.size());
   for (std::size_t i = 0; i < r.doses.size(); ++i)
     EXPECT_EQ(bits(back.doses[i]), bits(r.doses[i]));
@@ -168,6 +172,9 @@ TEST(Wire, FrameHeaderRoundTripAndRejections) {
   // it would misframe everything after the first payload.
   bad = h;
   bad[4] = static_cast<char>(wire::kVersion + 1);
+  EXPECT_THROW(wire::parse_frame_header(bad), DataError);
+  bad = h;
+  bad[4] = 2;  // v2: BlurPerf without the windowed delta-blur counters
   EXPECT_THROW(wire::parse_frame_header(bad), DataError);
   bad = h;
   bad[4] = 1;  // the pre-CRC v1 format
