@@ -20,7 +20,7 @@ PecResult correct_proximity(const ShotList& shots, const Psf& psf,
   // worker_count > 0 implies sharding (the distributed entry fills in the
   // default shard size) — silently running monolithic in-process despite a
   // requested worker pool would be a footgun.
-  if (options.worker_count > 0)
+  if (options.worker_count > 0 || !options.worker_hosts.empty())
     return correct_proximity_distributed(shots, psf, options);
   if (options.shard_size > 0) return correct_proximity_sharded(shots, psf, options);
 

@@ -109,6 +109,22 @@ struct PecOptions {
   /// the current executable.
   std::string worker_path;
 
+  /// PEC-as-a-service: comma-separated "host:port" addresses of already
+  /// running `pec_worker --listen` daemons. Non-empty switches the
+  /// distributed solve from fork/exec pipe workers to the TCP transport —
+  /// one supervisor slot per address (a daemon serves sessions
+  /// sequentially, so never point two slots at the same daemon;
+  /// worker_count is ignored in this mode). Each connection re-handshakes
+  /// the driver session (wire::Hello), so a daemon keeps its evaluator pool
+  /// warm across reconnects; per-job sequence numbers make reconnect replay
+  /// idempotent. Connect/heartbeat deadlines come from
+  /// $EBL_CONNECT_TIMEOUT_MS (default 5000) and $EBL_HEARTBEAT_MS (default
+  /// 2000); a refused or dropped connection consumes the slot's
+  /// worker_max_restarts budget exactly like a crashed pipe worker, after
+  /// which jobs reassign to live slots or degrade to in-process — and every
+  /// path stays bitwise-identical to the in-process engine.
+  std::string worker_hosts;
+
   /// Distributed solves only: base per-job deadline in milliseconds. A worker
   /// that has not produced a job's result frame this long after the job was
   /// sent (scaled up for large shards) is declared hung, killed, and its

@@ -14,8 +14,10 @@
 #include "geom/raster.h"
 #include "pec/exposure.h"
 #include "pec/supervisor.h"
+#include "pec/transport.h"
 #include "pec/wire.h"
 #include "util/contracts.h"
+#include "util/net.h"
 #include "util/fft.h"
 #include "util/gridkeys.h"
 #include "util/parallel.h"
@@ -419,44 +421,77 @@ class InProcessRunner : public ShardRunner {
   int evictions_ = 0;
 };
 
-// The multi-process execution path: a supervised pool of pec_worker
-// processes (pec/supervisor.h), shard jobs framed over their stdin and
-// results read back off their stdout (src/pec/wire.h). Shards stick to
-// workers (slot mod W) so each worker's resident evaluator pool keeps
-// hitting across halo-exchange rounds — the set_background_doses refresh
-// protocol, spoken over the wire. The supervisor owns liveness: per-job
-// deadlines, crash detection, bounded restart, reassignment of a failed
-// worker's jobs within the round, and — when every slot is gone —
-// finishing the round in-process. Recovery never changes a bit: every path
-// replays the identical pure job, and results land in disjoint per-slot
-// cells regardless of which worker (or no worker) produced them.
+// The multi-process execution path: a supervised pool of worker channels
+// (pec/supervisor.h + pec/transport.h) — fork/exec pec_worker children
+// framed over stdin/stdout, or, with options.worker_hosts set, TCP sessions
+// on already-running `pec_worker --listen` daemons (PEC as a service).
+// Shards stick to workers (slot mod W) so each worker's resident evaluator
+// pool keeps hitting across halo-exchange rounds — the
+// set_background_doses refresh protocol, spoken over the wire. The
+// supervisor owns liveness: per-job deadlines, crash/disconnect detection,
+// bounded restart/reconnect, reassignment of a failed worker's jobs within
+// the round, and — when every slot is gone — finishing the round
+// in-process. Recovery never changes a bit: every path replays the
+// identical pure job (TCP replays deduplicated daemon-side by job seq), and
+// results land in disjoint per-slot cells regardless of which worker (or no
+// worker) produced them.
 class DistributedRunner : public ShardRunner {
  public:
   DistributedRunner(const ShotList& shots, const Psf& psf, const PecOptions& options,
                     const ShardLayout& L)
       : shots_(shots), psf_(psf), options_(options), L_(L) {
-    workers_n_ = std::max(1, std::min<int>(options.worker_count,
-                                           static_cast<int>(L.count)));
-    std::string path =
-        options.worker_path.empty() ? default_pec_worker_path() : options.worker_path;
-    if (::access(path.c_str(), X_OK) != 0)
-      throw DataError("sharded PEC: pec_worker binary not executable: " + path);
+    const bool tcp = !options.worker_hosts.empty();
+    std::vector<net::HostPort> hosts;
+    std::string path;
+    if (tcp) {
+      // One supervisor slot per daemon address (a daemon serves sessions
+      // sequentially, so more slots than daemons would serialize, and
+      // worker_count is ignored); clamped to the shard count like the pipe
+      // pool is.
+      for (std::size_t start = 0; start <= options.worker_hosts.size();) {
+        const std::size_t comma = options.worker_hosts.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? options.worker_hosts.size() : comma;
+        if (end > start)
+          hosts.push_back(
+              net::parse_host_port(options.worker_hosts.substr(start, end - start)));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (hosts.empty())
+        throw DataError("sharded PEC: worker_hosts lists no addresses");
+      workers_n_ = std::max(
+          1, std::min<int>(static_cast<int>(hosts.size()), static_cast<int>(L.count)));
+      hosts.resize(static_cast<std::size_t>(workers_n_));
+    } else {
+      workers_n_ = std::max(1, std::min<int>(options.worker_count,
+                                             static_cast<int>(L.count)));
+      path = options.worker_path.empty() ? default_pec_worker_path()
+                                         : options.worker_path;
+      if (::access(path.c_str(), X_OK) != 0)
+        throw DataError("sharded PEC: pec_worker binary not executable: " + path);
+    }
 
     // One driver process + N workers share the machine: each worker gets an
     // equal slice of the resolved thread budget (>= 1). Thread count never
-    // changes results, only scheduling.
+    // changes results, only scheduling. (TCP daemons size their own threads;
+    // this slice only governs the degraded in-process fallback's share.)
     wopt_ = options;
     wopt_.exposure.threads =
         std::max(1, resolve_threads(options.exposure.threads) / workers_n_);
 
     // Session tag: workers drop stale resident evaluators if a long-lived
-    // worker ever sees jobs from two solves (not the case for this driver,
-    // which owns its pool, but the protocol does not rely on that).
+    // worker ever sees jobs from two solves — which is exactly what a TCP
+    // daemon is for, so the tag must be unique across driver processes. A
+    // reconnecting transport re-sends the SAME tag, keeping the daemon's
+    // pool warm across connection faults.
     static std::atomic<std::uint64_t> counter{0};
     session_ = (static_cast<std::uint64_t>(::getpid()) << 32) | ++counter;
 
     SupervisorConfig cfg;
-    cfg.argv = {path};
+    cfg.factory = tcp ? make_tcp_transport_factory(std::move(hosts), session_)
+                      : make_pipe_transport_factory({path});
+    cfg.sequence_jobs = tcp;
     cfg.workers = workers_n_;
     cfg.timeout_ms = options.worker_timeout_ms;
     cfg.max_restarts = options.worker_max_restarts;
@@ -742,7 +777,7 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
   // pec_worker processes speaking the wire format. Both run solve_shard_job
   // on identical jobs, so the choice cannot change a bit of the result.
   std::unique_ptr<ShardRunner> runner;
-  if (options.worker_count > 0) {
+  if (options.worker_count > 0 || !options.worker_hosts.empty()) {
     runner = std::make_unique<DistributedRunner>(shots, psf, options, L);
   } else {
     runner = std::make_unique<InProcessRunner>(shots, psf, options, L);
@@ -876,8 +911,9 @@ PecResult correct_proximity_sharded(const ShotList& shots, const Psf& psf,
 
 PecResult correct_proximity_distributed(const ShotList& shots, const Psf& psf,
                                         const PecOptions& options) {
-  expects(options.worker_count > 0,
-          "correct_proximity_distributed: worker_count must be > 0");
+  expects(options.worker_count > 0 || !options.worker_hosts.empty(),
+          "correct_proximity_distributed: need worker_count > 0 or "
+          "worker_hosts");
   PecOptions opt = options;
   if (opt.shard_size == 0) opt.shard_size = default_shard_size(psf, opt);
   return correct_proximity_sharded(shots, psf, opt);

@@ -8,8 +8,6 @@
 #include <mutex>
 #include <thread>
 
-#include <signal.h>
-
 #include "pec/sharded.h"
 #include "pec/wire.h"
 #include "util/contracts.h"
@@ -66,17 +64,18 @@ struct WorkerSupervisor::Attempt {
 };
 
 WorkerSupervisor::WorkerSupervisor(SupervisorConfig config)
-    : argv_(std::move(config.argv)),
+    : factory_(std::move(config.factory)),
       timeout_ms_(resolve_worker_timeout_ms(config.timeout_ms)),
       max_restarts_(std::max(0, config.max_restarts)),
-      fallback_threads_(config.fallback_threads) {
-  expects(!argv_.empty(), "WorkerSupervisor: empty worker argv");
+      fallback_threads_(config.fallback_threads),
+      sequence_jobs_(config.sequence_jobs) {
+  expects(static_cast<bool>(factory_), "WorkerSupervisor: no transport factory");
   expects(config.workers > 0, "WorkerSupervisor: need at least one worker");
-  workers_.reserve(static_cast<std::size_t>(config.workers));
+  transports_.reserve(static_cast<std::size_t>(config.workers));
   for (int i = 0; i < config.workers; ++i)
-    workers_.push_back(Subprocess::spawn(argv_));
-  alive_.assign(workers_.size(), 1);
-  restarts_used_.assign(workers_.size(), 0);
+    transports_.push_back(factory_(static_cast<std::size_t>(i)));
+  alive_.assign(transports_.size(), 1);
+  restarts_used_.assign(transports_.size(), 0);
 }
 
 WorkerSupervisor::~WorkerSupervisor() { terminate_all(); }
@@ -93,51 +92,73 @@ std::size_t WorkerSupervisor::live_count() const {
 }
 
 void WorkerSupervisor::probe_liveness() {
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
+  for (std::size_t w = 0; w < transports_.size(); ++w) {
     if (!alive_[w]) continue;
-    if (const std::optional<int> status = workers_[w].try_wait()) {
+    std::string why;
+    if (transports_[w]->poll_fault(&why)) {
       ++stats_.failures;
-      handle_failure(w, "worker exited between batches (status " +
-                            std::to_string(*status) + ")");
+      handle_failure(w, why);
     }
   }
 }
 
 void WorkerSupervisor::handle_failure(std::size_t w, const std::string& error) {
   std::fprintf(stderr,
-               "sharded PEC: worker %zu failed (%s); restarts used %d/%d\n", w,
-               error.c_str(), restarts_used_[w], max_restarts_);
-  // Reap whatever is left of the process. terminate() is a no-op when the
-  // failure path (or try_wait) already reaped it.
-  workers_[w].terminate();
-  if (restarts_used_[w] >= max_restarts_) {
-    alive_[w] = 0;
-    return;
+               "sharded PEC: worker slot %zu [%s] failed (%s); restarts used "
+               "%d/%d\n",
+               w, transports_[w]->describe().c_str(), error.c_str(),
+               restarts_used_[w], max_restarts_);
+  // Tear the channel down completely (reap the process / close the socket).
+  // hard_stop is a no-op on whatever part already died.
+  transports_[w]->hard_stop();
+  // Rebuild the channel, charging every attempt against the slot's budget —
+  // including attempts where the factory itself throws: a refused reconnect
+  // to a restarting daemon is a transient fault to retry with backoff, not
+  // an instant retirement. Exponential backoff so a worker dying instantly
+  // (bad node, OOM loop, dead daemon) cannot turn the supervisor into a
+  // fork/connect bomb. The per-attempt cap is tunable via
+  // EBL_RECONNECT_BACKOFF_MS (default 1000): chaos tests that inject dozens
+  // of transient faults per solve pace recovery in tens of milliseconds,
+  // and an operator fronting slow-restarting daemons can stretch it.
+  long backoff_cap_ms = 1000;
+  if (const char* env = std::getenv("EBL_RECONNECT_BACKOFF_MS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0) backoff_cap_ms = v;
   }
-  // Exponential backoff before the respawn: a worker dying instantly (bad
-  // node, OOM loop) must not turn the supervisor into a fork bomb.
-  const int shift = std::min(restarts_used_[w], 7);
-  std::this_thread::sleep_for(std::chrono::milliseconds(
-      std::min<long>(10L << shift, 1000L)));
-  try {
-    workers_[w] = Subprocess::spawn(argv_);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "sharded PEC: respawn of worker %zu failed (%s)\n", w,
-                 e.what());
-    alive_[w] = 0;
-    return;
+  while (restarts_used_[w] < max_restarts_) {
+    const int shift = std::min(restarts_used_[w], 7);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<long>(10L << shift, backoff_cap_ms)));
+    ++restarts_used_[w];
+    try {
+      transports_[w] = factory_(w);
+      ++stats_.restarts;
+      return;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "sharded PEC: restart %d/%d of worker slot %zu failed "
+                   "(%s)\n",
+                   restarts_used_[w], max_restarts_, w, e.what());
+    }
   }
-  ++restarts_used_[w];
-  ++stats_.restarts;
+  alive_[w] = 0;
 }
 
 void WorkerSupervisor::run_batch(std::size_t n, const Prefer& prefer,
                                  const MakeJob& make_job, const Apply& apply) {
-  const std::size_t nw = workers_.size();
+  const std::size_t nw = transports_.size();
   std::vector<std::uint8_t> done(n, 0);
   std::vector<std::size_t> remaining;
   remaining.reserve(n);
   for (std::size_t i = 0; i < n; ++i) remaining.push_back(i);
+  // Sequence numbers are assigned ONCE, at batch entry: a job re-dealt after
+  // a fault carries the SAME seq on every delivery attempt, which is what
+  // lets a daemon recognize a replay. (The solver never reads seq, so the
+  // stamp cannot change a bit of any result.)
+  std::vector<std::uint64_t> seqs(n, 0);
+  if (sequence_jobs_)
+    for (std::size_t i = 0; i < n; ++i) seqs[i] = ++next_seq_;
 
   while (!remaining.empty()) {
     if (!degraded_) probe_liveness();
@@ -190,29 +211,29 @@ void WorkerSupervisor::run_batch(std::size_t n, const Prefer& prefer,
       if (batch[w].empty()) continue;
       attempts[w] = std::make_unique<Attempt>(std::move(batch[w]));
       Attempt& at = *attempts[w];
-      Subprocess& proc = workers_[w];
+      Transport& tr = *transports_[w];
 
-      threads.emplace_back([&at, &proc, &make_job, this] {
+      threads.emplace_back([&at, &tr, &make_job, &seqs, this] {
         try {
           for (std::size_t k = 0; k < at.jobs.size(); ++k) {
             if (at.failed.load(std::memory_order_acquire)) break;
-            const wire::ShardJob job = make_job(at.jobs[k]);
+            wire::ShardJob job = make_job(at.jobs[k]);
+            job.seq = seqs[at.jobs[k]];
             at.timeout_ms[k] =
                 timeout_for_ms(job.active.size() + job.ghosts.size());
             at.sent_at[k] = clock_t_::now();
-            wire::write_frame(proc.stdin_fd(), wire::MsgType::kShardJob,
-                              wire::encode(job));
+            tr.send_job(job, deadline_after(at.sent_at[k], at.timeout_ms[k]));
             at.sent.store(k + 1, std::memory_order_release);
           }
         } catch (const std::exception& e) {
           at.fail(std::string("sending a job: ") + e.what());
-          // Unblock the paired reader: EOF on stdin makes a healthy worker
-          // finish its queue and exit, which EOFs its stdout.
-          proc.close_stdin();
+          // Unblock the paired reader: half-closing the job stream makes a
+          // healthy worker finish its queue and end the result stream.
+          tr.finish_jobs();
         }
       });
 
-      threads.emplace_back([&at, &proc, &apply, &done, w, this] {
+      threads.emplace_back([&at, &tr, &apply, &done, w, this] {
         try {
           // `progress` is when this worker last gave evidence of life: the
           // attempt start, then each result. Job k's processing cannot begin
@@ -225,14 +246,14 @@ void WorkerSupervisor::run_batch(std::size_t n, const Prefer& prefer,
               if (timeout_ms_ > 0 &&
                   clock_t_::now() > deadline_after(progress, timeout_ms_))
                 throw TimeoutError(
-                    "worker stopped accepting jobs (stdin pipe stalled)");
+                    "worker stopped accepting jobs (job stream stalled)");
               std::this_thread::sleep_for(std::chrono::milliseconds(1));
             }
             const auto deadline = deadline_after(
                 std::max(progress, at.sent_at[k]), at.timeout_ms[k]);
             wire::Frame frame;
-            if (!wire::read_frame(proc.stdout_fd(), &frame, deadline))
-              throw DataError("worker exited mid-round");
+            if (!tr.read_result(&frame, deadline))
+              throw DataError("worker ended the result stream mid-round");
             if (frame.type != wire::MsgType::kShardResult)
               throw DataError("expected a shard result frame");
             const wire::ShardResult r = wire::decode_shard_result(frame.payload);
@@ -242,11 +263,11 @@ void WorkerSupervisor::run_batch(std::size_t n, const Prefer& prefer,
           }
         } catch (const std::exception& e) {
           at.fail(std::string("reading a result: ") + e.what());
-          // Unblock the paired writer: killing the worker closes its end of
-          // the stdin pipe, so a writer blocked on a full pipe gets EPIPE.
-          // Reap + fd teardown stay with the post-join failure path (no
-          // cross-thread fd races).
-          if (proc.pid() > 0) ::kill(proc.pid(), SIGKILL);
+          // Break the paired writer out of a blocked send (pipe: SIGKILL the
+          // worker so the pipe EPIPEs; TCP: shut the socket down both ways).
+          // Channel teardown stays with the post-join failure path (no
+          // cross-thread teardown races).
+          tr.unblock_writer();
         }
       });
     }
@@ -269,35 +290,30 @@ void WorkerSupervisor::run_batch(std::size_t n, const Prefer& prefer,
 }
 
 void WorkerSupervisor::shutdown() {
-  for (std::size_t w = 0; w < workers_.size(); ++w)
-    if (alive_[w]) workers_[w].close_stdin();
-  // Bounded drain: a worker that ignores EOF must not stall the solve's
-  // epilogue. All results were already delivered and CRC-checked, so a dirty
-  // exit here is diagnostic, not a correctness problem — log it and move on.
+  // Two phases: half-close every slot first (so all workers wind down
+  // concurrently), then drain each with a shared deadline. A worker that
+  // ignores the close must not stall the solve's epilogue — all results were
+  // already delivered and CRC-checked, so a dirty end here is diagnostic,
+  // not a correctness problem: log it and move on.
+  for (std::size_t w = 0; w < transports_.size(); ++w)
+    if (alive_[w]) transports_[w]->finish_jobs();
   const auto deadline = deadline_after(clock_t_::now(), 5000.0);
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
+  for (std::size_t w = 0; w < transports_.size(); ++w) {
     if (!alive_[w]) continue;
-    std::optional<int> status;
-    while (!(status = workers_[w].try_wait()) && clock_t_::now() < deadline)
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    if (!status) {
-      std::fprintf(stderr,
-                   "sharded PEC: worker %zu ignored shutdown; killing it\n", w);
-      workers_[w].terminate();
-    } else if (*status != 0) {
-      std::fprintf(stderr,
-                   "sharded PEC: worker %zu exited with status %d at shutdown\n",
-                   w, *status);
-    }
+    const std::string dirty = transports_[w]->drain(deadline);
+    if (!dirty.empty())
+      std::fprintf(stderr, "sharded PEC: worker slot %zu at shutdown: %s\n", w,
+                   dirty.c_str());
     alive_[w] = 0;
   }
-  workers_.clear();
+  transports_.clear();
   alive_.clear();
 }
 
 void WorkerSupervisor::terminate_all() {
-  for (Subprocess& w : workers_) w.terminate();
-  workers_.clear();
+  for (std::unique_ptr<Transport>& t : transports_)
+    if (t) t->hard_stop();
+  transports_.clear();
   alive_.clear();
 }
 

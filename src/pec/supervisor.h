@@ -27,6 +27,15 @@
 //     (degraded_to_inprocess), so restart exhaustion slows the solve down
 //     instead of failing it.
 //
+// The supervisor is transport-blind (src/pec/transport.h): a worker slot is
+// whatever its TransportFactory builds — a fork/exec pipe worker or a TCP
+// session on a pec_worker daemon. "Restart" means "discard the transport and
+// ask the factory again", which is a respawn for pipes and a reconnect (with
+// exponential backoff; a refused connection consumes restart budget and is
+// retried) for TCP. In sequencing mode every job carries a session-unique
+// seq, stable across delivery attempts, so a daemon reached over a flaky
+// network deduplicates replayed jobs.
+//
 // The per-sweep writer/reader thread pair of the pre-supervisor driver is
 // preserved (results stream back while later jobs serialize; no pipe-buffer
 // deadlock), with the reads made deadline-aware. Thread teardown is
@@ -36,11 +45,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "util/subprocess.h"
+#include "pec/transport.h"
 
 namespace ebl {
 
@@ -64,13 +75,19 @@ struct SupervisorStats {
 };
 
 struct SupervisorConfig {
-  std::vector<std::string> argv;  ///< worker command line
-  int workers = 1;                ///< pool width (slot count)
+  /// Builds (and rebuilds, after a fault) the channel for each worker slot.
+  TransportFactory factory;
+  int workers = 1;  ///< pool width (slot count)
   /// Raw PecOptions::worker_timeout_ms — resolved internally via
   /// resolve_worker_timeout_ms.
   double timeout_ms = 0.0;
-  int max_restarts = 2;      ///< per-slot respawn budget
+  int max_restarts = 2;      ///< per-slot restart/reconnect budget
   int fallback_threads = 0;  ///< thread budget for degraded in-process solves
+  /// Stamp every job with a session-unique seq, stable across delivery
+  /// attempts (TCP daemons deduplicate replays by it). Off for stdio pipe
+  /// workers — their transport cannot replay, and jobs stay byte-identical
+  /// to the pre-service wire traffic (seq = 0).
+  bool sequence_jobs = false;
 };
 
 /// A supervised pool of pec_worker processes. run_batch is the whole
@@ -96,15 +113,16 @@ class WorkerSupervisor {
   /// round-robin to the live ones.
   using Prefer = std::function<std::size_t(std::size_t)>;
 
-  /// Spawns the pool. Throws DataError when the initial spawns fail — a pool
-  /// that never existed is a configuration error, not a fault to absorb.
+  /// Builds the pool (factory once per slot). Throws when an initial build
+  /// fails — a pool that never existed is a configuration error, not a fault
+  /// to absorb; reconnect/restart resilience starts after construction.
   explicit WorkerSupervisor(SupervisorConfig config);
   ~WorkerSupervisor();  ///< kills and reaps anything still running
 
   WorkerSupervisor(const WorkerSupervisor&) = delete;
   WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
 
-  int workers() const { return static_cast<int>(workers_.size()); }
+  int workers() const { return static_cast<int>(transports_.size()); }
   const SupervisorStats& stats() const { return stats_; }
 
   /// Runs jobs 0..n-1 to completion (every job applied exactly once),
@@ -115,10 +133,11 @@ class WorkerSupervisor {
   void run_batch(std::size_t n, const Prefer& prefer, const MakeJob& make_job,
                  const Apply& apply);
 
-  /// Orderly shutdown: EOF every live worker's stdin, give the pool a few
-  /// seconds to drain and exit, SIGKILL stragglers. A nonzero exit status
-  /// after all results were delivered (and CRC-checked) is logged, not
-  /// thrown — by then it cannot have corrupted the solve.
+  /// Orderly shutdown: finish_jobs every live slot (pipe: EOF the worker's
+  /// stdin; TCP: half-close the session), give the pool a few seconds to
+  /// drain, hard-stop stragglers. A dirty end after all results were
+  /// delivered (and CRC-checked) is logged, not thrown — by then it cannot
+  /// have corrupted the solve.
   void shutdown();
 
   /// Error-path teardown: SIGKILL + reap everything still running.
@@ -132,24 +151,30 @@ class WorkerSupervisor {
   /// more wall-clock before being declared hung.
   double timeout_for_ms(std::size_t job_shots) const;
 
-  /// WNOHANG probe of every live slot; a slot whose process already exited
-  /// (e.g. crashed between rounds) goes through the failure path before any
-  /// job is dealt to it.
+  /// poll_fault probe of every live slot (pipe: WNOHANG; TCP: heartbeat
+  /// ping/pong); a slot whose channel already died (e.g. crashed or dropped
+  /// between rounds) goes through the failure path before any job is dealt
+  /// to it.
   void probe_liveness();
 
-  /// Post-attempt accounting for a faulty worker: reap it, then either
-  /// respawn into the slot (backoff, budget permitting) or retire the slot.
+  /// Post-attempt accounting for a faulty slot: tear the channel down, then
+  /// rebuild it via the factory — with exponential backoff, charging every
+  /// attempt (including ones where the factory itself throws, e.g. a
+  /// refused reconnect) against the slot's restart budget — or retire the
+  /// slot once the budget is spent.
   void handle_failure(std::size_t w, const std::string& error);
 
   std::size_t live_count() const;
 
-  std::vector<std::string> argv_;
-  std::vector<Subprocess> workers_;
+  TransportFactory factory_;
+  std::vector<std::unique_ptr<Transport>> transports_;
   std::vector<std::uint8_t> alive_;
   std::vector<int> restarts_used_;
   double timeout_ms_ = 0.0;  ///< resolved base; <= 0 means deadlines disabled
   int max_restarts_ = 0;
   int fallback_threads_ = 0;
+  bool sequence_jobs_ = false;
+  std::uint64_t next_seq_ = 0;  ///< last seq handed out (session-unique)
   bool degraded_ = false;  ///< latches: once out of workers, stay in-process
   SupervisorStats stats_;
 };

@@ -82,6 +82,14 @@ struct Reader {
     return static_cast<std::size_t>(n);
   }
 
+  /// @p n raw bytes (length already validated via count()).
+  const char* bytes(std::size_t n) {
+    need(n);
+    const char* at = p;
+    p += n;
+    return at;
+  }
+
   void finish() const {
     if (p != end) throw DataError("wire: trailing bytes after payload");
   }
@@ -115,6 +123,8 @@ void put_options(Writer& w, const PecOptions& o) {
   w.i32(o.worker_count);
   w.f64(o.worker_timeout_ms);
   w.i32(o.worker_max_restarts);
+  w.u64(o.worker_hosts.size());
+  w.buf.append(o.worker_hosts);
   const ExposureOptions& e = o.exposure;
   w.f64(e.long_range_threshold);
   w.f64(e.pixels_per_sigma);
@@ -144,6 +154,8 @@ PecOptions get_options(Reader& r) {
   o.worker_count = r.i32();
   o.worker_timeout_ms = r.f64();
   o.worker_max_restarts = r.i32();
+  const std::size_t hosts_len = r.count(1);
+  o.worker_hosts.assign(r.bytes(hosts_len), hosts_len);
   ExposureOptions& e = o.exposure;
   e.long_range_threshold = r.f64();
   e.pixels_per_sigma = r.f64();
@@ -221,6 +233,7 @@ std::string encode(const ShardJob& job) {
   Writer w;
   w.u64(job.session_id);
   w.u64(job.shard_key);
+  w.u64(job.seq);
   w.u8(job.correct ? 1 : 0);
   w.u8(job.allow_optimistic ? 1 : 0);
   w.u8(job.reset_all ? 1 : 0);
@@ -242,6 +255,7 @@ ShardJob decode_shard_job(std::string_view payload) {
   ShardJob job;
   job.session_id = r.u64();
   job.shard_key = r.u64();
+  job.seq = r.u64();
   job.correct = r.boolean();
   job.allow_optimistic = r.boolean();
   job.reset_all = r.boolean();
@@ -303,6 +317,51 @@ ShardResult decode_shard_result(std::string_view payload) {
   return result;
 }
 
+std::string encode(const Hello& hello) {
+  Writer w;
+  w.u64(hello.session_id);
+  w.u32(hello.protocol);
+  return std::move(w.buf);
+}
+
+Hello decode_hello(std::string_view payload) {
+  Reader r(payload);
+  Hello h;
+  h.session_id = r.u64();
+  h.protocol = r.u32();
+  r.finish();
+  return h;
+}
+
+std::string encode(const HelloAck& ack) {
+  Writer w;
+  w.u64(ack.session_id);
+  w.u64(ack.last_seq);
+  return std::move(w.buf);
+}
+
+HelloAck decode_hello_ack(std::string_view payload) {
+  Reader r(payload);
+  HelloAck a;
+  a.session_id = r.u64();
+  a.last_seq = r.u64();
+  r.finish();
+  return a;
+}
+
+std::string encode_token(std::uint64_t token) {
+  Writer w;
+  w.u64(token);
+  return std::move(w.buf);
+}
+
+std::uint64_t decode_token(std::string_view payload) {
+  Reader r(payload);
+  const std::uint64_t token = r.u64();
+  r.finish();
+  return token;
+}
+
 std::string encode_frame_header(MsgType type, std::uint64_t payload_size) {
   Writer w;
   w.u32(kMagic);
@@ -324,8 +383,8 @@ std::pair<MsgType, std::uint64_t> parse_frame_header(std::string_view header) {
   if (r.u32() != kEndianTag)
     throw DataError("wire: endianness mismatch (stream written foreign-endian)");
   const std::uint32_t type = r.u32();
-  if (type != static_cast<std::uint32_t>(MsgType::kShardJob) &&
-      type != static_cast<std::uint32_t>(MsgType::kShardResult))
+  if (type < static_cast<std::uint32_t>(MsgType::kShardJob) ||
+      type > static_cast<std::uint32_t>(MsgType::kPong))
     throw DataError("wire: unknown message type " + std::to_string(type));
   return {static_cast<MsgType>(type), r.u64()};
 }
@@ -372,9 +431,20 @@ bool read_frame(int fd, Frame* out,
   if (size > (std::uint64_t{1} << 32))
     throw DataError("wire: implausible payload size " + std::to_string(size));
   out->type = type;
-  out->payload.resize(static_cast<std::size_t>(size));
-  if (size > 0 && !read_exact(fd, out->payload.data(), out->payload.size(), deadline))
-    throw DataError("wire: stream ended inside a payload");
+  // Chunked payload read: allocation grows only as bytes actually arrive, so
+  // a corrupted length *under* the cap (a single flipped bit can claim
+  // gigabytes) costs at most one extra chunk before the short stream is
+  // caught — never a multi-GiB up-front resize.
+  out->payload.clear();
+  constexpr std::uint64_t kChunk = std::uint64_t{4} << 20;
+  for (std::uint64_t got = 0; got < size;) {
+    const std::uint64_t chunk = std::min(size - got, kChunk);
+    out->payload.resize(static_cast<std::size_t>(got + chunk));
+    if (!read_exact(fd, out->payload.data() + got,
+                    static_cast<std::size_t>(chunk), deadline))
+      throw DataError("wire: stream ended inside a payload");
+    got += chunk;
+  }
   char trailer[4];
   if (!read_exact(fd, trailer, sizeof(trailer), deadline))
     throw DataError("wire: stream ended before the frame checksum");
@@ -387,6 +457,12 @@ bool read_frame(int fd, Frame* out,
 void write_frame(int fd, MsgType type, std::string_view payload) {
   const std::string msg = encode_framed(type, payload);
   write_all(fd, msg.data(), msg.size());
+}
+
+void write_frame(int fd, MsgType type, std::string_view payload,
+                 std::chrono::steady_clock::time_point deadline) {
+  const std::string msg = encode_framed(type, payload);
+  write_all(fd, msg.data(), msg.size(), deadline);
 }
 
 }  // namespace ebl::wire

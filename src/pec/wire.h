@@ -46,7 +46,12 @@ inline constexpr std::uint32_t kMagic = 0x574C4245;  // "EBLW" little-endian
 /// windowed_blur_ms), so shard results grew by 12 payload bytes. Same skew
 /// rule: a v2 reader would misparse a v3 result and vice versa, so the
 /// header version must match exactly.
-inline constexpr std::uint32_t kVersion = 3;
+/// v4: PEC-as-a-service. ShardJob gained the per-job sequence number (seq)
+/// that makes reconnect replay idempotent, PecOptions gained worker_hosts,
+/// and the session frames arrived: kHello / kHelloAck (per-connection
+/// re-handshake of a TCP worker daemon) and kPing / kPong (client-side
+/// liveness probes). Exact-match skew rule as ever.
+inline constexpr std::uint32_t kVersion = 4;
 /// Written as-is by every encoder; a reader that sees its bytes reversed is
 /// looking at a stream produced by a writer that did not follow the
 /// little-endian convention (or at garbage) and must reject it.
@@ -55,6 +60,17 @@ inline constexpr std::uint32_t kEndianTag = 0x01020304;
 enum class MsgType : std::uint32_t {
   kShardJob = 1,
   kShardResult = 2,
+  /// Session opener on a TCP connection to a pec_worker daemon: the client
+  /// announces its session tag and protocol version; the daemon answers
+  /// with kHelloAck. A reconnecting client re-sends the same session tag,
+  /// so the daemon keeps its warm evaluator pool and its replay cache.
+  kHello = 3,
+  kHelloAck = 4,
+  /// Liveness probe between job batches: the daemon echoes the ping's token
+  /// back as a kPong. Strictly request/response on an otherwise quiet
+  /// stream, so a pong can never interleave with a result frame.
+  kPing = 5,
+  kPong = 6,
 };
 
 /// One shard solve, fully specified. The driver builds one per shard per
@@ -69,6 +85,14 @@ struct ShardJob {
   /// Packed shard grid key (util/gridkeys.h) — the shard's stable identity,
   /// and the worker's resident-pool key.
   std::uint64_t shard_key = 0;
+  /// Per-job sequence number, unique within a driver session and stable
+  /// across delivery attempts: a job re-sent after a dropped connection
+  /// carries the SAME seq, so a daemon that already solved it detects the
+  /// duplicate and replays the cached result frame byte-for-byte instead of
+  /// solving twice (jobs are pure, so a cache miss re-solves to identical
+  /// doses anyway — the cache only saves the work). 0 = unsequenced (stdio
+  /// pipe workers, where the transport cannot replay).
+  std::uint64_t seq = 0;
 
   bool correct = true;           ///< false: measurement-only pass
   bool allow_optimistic = false; ///< may publish a final unverified update
@@ -118,14 +142,39 @@ struct ShardResult {
   double solve_ms = 0.0;  ///< worker-side wall clock of this job
 };
 
+/// The kHello payload: what a client announces when (re)opening a session
+/// on a pec_worker daemon.
+struct Hello {
+  std::uint64_t session_id = 0;
+  /// Application-level protocol version (kVersion). The frame header pins it
+  /// too, but the handshake states it explicitly so a future proxy that
+  /// rewrites frames cannot smuggle a version through.
+  std::uint32_t protocol = 0;
+};
+
+/// The kHelloAck payload: the daemon's answer, echoing the session and
+/// reporting the highest job seq it has served for it — a reconnecting
+/// client learns how far the previous connection actually got.
+struct HelloAck {
+  std::uint64_t session_id = 0;
+  std::uint64_t last_seq = 0;
+};
+
 /// Encode to a payload (no frame header). Doubles are bit-exact.
 std::string encode(const ShardJob& job);
 std::string encode(const ShardResult& result);
+std::string encode(const Hello& hello);
+std::string encode(const HelloAck& ack);
+/// The kPing / kPong payload: an opaque token the pong must echo.
+std::string encode_token(std::uint64_t token);
 
 /// Decode a payload. Throws DataError on truncation, trailing bytes, or
 /// out-of-range enum/count values.
 ShardJob decode_shard_job(std::string_view payload);
 ShardResult decode_shard_result(std::string_view payload);
+Hello decode_hello(std::string_view payload);
+HelloAck decode_hello_ack(std::string_view payload);
+std::uint64_t decode_token(std::string_view payload);
 
 /// A framed message as read off a stream.
 struct Frame {
@@ -166,5 +215,12 @@ bool read_frame(int fd, Frame* out, std::chrono::steady_clock::time_point deadli
 /// Writes one framed message to @p fd (header + payload + CRC trailer,
 /// single logical write). Throws DataError on short writes / broken pipes.
 void write_frame(int fd, MsgType type, std::string_view payload);
+
+/// Deadline-aware write_frame: throws TimeoutError once @p deadline passes
+/// before the peer accepts the whole frame — the send-side half of
+/// hung-peer detection on the TCP transport (a daemon that stops draining
+/// its receive window must not block the supervisor's writer forever).
+void write_frame(int fd, MsgType type, std::string_view payload,
+                 std::chrono::steady_clock::time_point deadline);
 
 }  // namespace ebl::wire

@@ -28,71 +28,95 @@ void ignore_sigpipe_once() {
   std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
 }
 
+// Waits for @p events on @p fd in bounded poll slices, re-checking the
+// clock each slice so a deadline is honored even when no event ever fires.
+// Throws TimeoutError (with @p timeout_what) once the deadline passes; a
+// deadline of time_point::max() waits forever (in 100 ms slices — poll has
+// no "infinite but EINTR-cheap" mode). POLLHUP/POLLERR count as ready: the
+// subsequent read/write surfaces the condition as EOF or an errno.
+void wait_io(int fd, short events, std::chrono::steady_clock::time_point deadline,
+             const char* timeout_what) {
+  using clock = std::chrono::steady_clock;
+  for (;;) {
+    int slice = 100;
+    if (deadline != clock::time_point::max()) {
+      const auto now = clock::now();
+      if (now >= deadline) throw TimeoutError(timeout_what);
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      slice = static_cast<int>(
+          std::min<std::chrono::milliseconds::rep>(left.count() + 1, 100));
+    }
+    struct pollfd pfd = {fd, events, 0};
+    const int rv = ::poll(&pfd, 1, slice);
+    if (rv < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("subprocess: poll failed");
+    }
+    if (rv > 0) return;  // ready (or HUP/ERR: the I/O call surfaces it)
+  }
+}
+
 }  // namespace
 
 void write_all(int fd, const void* data, std::size_t n) {
+  write_all(fd, data, n, std::chrono::steady_clock::time_point::max());
+}
+
+void write_all(int fd, const void* data, std::size_t n,
+               std::chrono::steady_clock::time_point deadline) {
   ignore_sigpipe_once();
   const char* p = static_cast<const char*>(data);
+  bool started = false;
   while (n > 0) {
     const ssize_t w = ::write(fd, p, n);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // O_NONBLOCK fd with a full buffer: wait for writability (bounded
+        // by the deadline) instead of surfacing a spurious error. This is
+        // the short-write hole the nonblocking sockets exposed — a partial
+        // write followed by EAGAIN must resume, not throw.
+        wait_io(fd, POLLOUT, deadline,
+                started ? "subprocess: write deadline exceeded mid-record"
+                        : "subprocess: write deadline exceeded");
+        continue;
+      }
       throw_errno("subprocess: write failed");
     }
+    if (w > 0) started = true;
     p += w;
     n -= static_cast<std::size_t>(w);
   }
 }
 
 bool read_exact(int fd, void* data, std::size_t n) {
-  char* p = static_cast<char*>(data);
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, p + got, n - got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("subprocess: read failed");
-    }
-    if (r == 0) {
-      if (got == 0) return false;  // clean EOF at a record boundary
-      throw DataError("subprocess: stream ended mid-record");
-    }
-    got += static_cast<std::size_t>(r);
-  }
-  return true;
+  return read_exact(fd, data, n, std::chrono::steady_clock::time_point::max());
 }
 
 bool read_exact(int fd, void* data, std::size_t n,
                 std::chrono::steady_clock::time_point deadline) {
   using clock = std::chrono::steady_clock;
-  if (deadline == clock::time_point::max()) return read_exact(fd, data, n);
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
+  const auto wait_readable = [&] {
+    wait_io(fd, POLLIN, deadline,
+            got == 0 ? "subprocess: read deadline exceeded"
+                     : "subprocess: read deadline exceeded mid-record");
+  };
   while (got < n) {
-    // Wait for readability (or hangup — the subsequent read returns 0 and
-    // the EOF semantics of the blocking variant apply) in bounded slices so
-    // the deadline is honored even when no byte ever arrives.
-    for (;;) {
-      const auto now = clock::now();
-      if (now >= deadline)
-        throw TimeoutError(got == 0
-                               ? "subprocess: read deadline exceeded"
-                               : "subprocess: read deadline exceeded mid-record");
-      const auto left =
-          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-      const int slice = static_cast<int>(
-          std::min<std::chrono::milliseconds::rep>(left.count() + 1, 100));
-      struct pollfd pfd = {fd, POLLIN, 0};
-      const int rv = ::poll(&pfd, 1, slice);
-      if (rv < 0) {
-        if (errno == EINTR) continue;
-        throw_errno("subprocess: poll failed");
-      }
-      if (rv > 0) break;  // readable (or HUP/ERR: the read below surfaces it)
-    }
+    // Under a deadline, wait for readability first so the deadline is
+    // honored even when no byte ever arrives; without one, read() blocks
+    // (blocking fd) or returns EAGAIN and waits below (O_NONBLOCK fd).
+    if (deadline != clock::time_point::max()) wait_readable();
     const ssize_t r = ::read(fd, p + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Nonblocking fd not ready (or a poll wakeup the kernel revoked).
+        wait_readable();
+        continue;
+      }
       throw_errno("subprocess: read failed");
     }
     if (r == 0) {

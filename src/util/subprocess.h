@@ -33,15 +33,28 @@ class TimeoutError : public DataError {
 };
 
 /// Writes exactly @p n bytes to @p fd, retrying short writes and EINTR.
-/// Throws DataError on any write error — including EPIPE: SIGPIPE is set to
-/// ignored (process-wide, once) on the first call, so a dead reader surfaces
-/// as an exception instead of killing the process.
+/// On an O_NONBLOCK fd (every socket util/net.h hands out) EAGAIN waits for
+/// writability via poll(2) instead of failing, so callers keep blocking
+/// semantics regardless of the fd's mode. Throws DataError on any write
+/// error — including EPIPE: SIGPIPE is set to ignored (process-wide, once)
+/// on the first call, so a dead reader surfaces as an exception instead of
+/// killing the process.
 void write_all(int fd, const void* data, std::size_t n);
 
-/// Reads exactly @p n bytes from @p fd, retrying short reads and EINTR.
-/// Returns true when all @p n bytes arrived; false on clean EOF before the
-/// first byte. Throws DataError on EOF after a partial read, or a read
-/// error — a mid-record EOF is corruption, not a boundary.
+/// Deadline-aware write_all: same semantics, but waits for writability in
+/// bounded poll slices and throws TimeoutError once @p deadline passes
+/// before all @p n bytes are accepted — the send-side half of hung-peer
+/// detection (a TCP peer that stops draining its receive window stalls the
+/// writer exactly like a hung reader stalls a pipe). A deadline of
+/// time_point::max() degrades to the plain blocking write.
+void write_all(int fd, const void* data, std::size_t n,
+               std::chrono::steady_clock::time_point deadline);
+
+/// Reads exactly @p n bytes from @p fd, retrying short reads, EINTR, and —
+/// on O_NONBLOCK fds — EAGAIN (via poll, like write_all). Returns true when
+/// all @p n bytes arrived; false on clean EOF before the first byte. Throws
+/// DataError on EOF after a partial read, or a read error — a mid-record
+/// EOF is corruption, not a boundary.
 bool read_exact(int fd, void* data, std::size_t n);
 
 /// Deadline-aware read_exact: same semantics, but waits for readability via

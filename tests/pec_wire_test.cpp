@@ -41,6 +41,7 @@ wire::ShardJob sample_job() {
   wire::ShardJob job;
   job.session_id = 0x0123456789abcdefULL;
   job.shard_key = 0xfedcba9876543210ULL;
+  job.seq = 0xdeadbeefcafe0042ULL;
   job.correct = true;
   job.allow_optimistic = true;
   job.reset_all = false;
@@ -60,6 +61,7 @@ wire::ShardJob sample_job() {
   job.options.density_warm_start = false;
   job.options.resident_shard_budget = 5;
   job.options.worker_count = 3;
+  job.options.worker_hosts = "127.0.0.1:9000,worker-b:9001";
   job.options.worker_timeout_ms = 1234.5;
   job.options.worker_max_restarts = 7;
   job.options.exposure.pixels_per_sigma = 4.5;
@@ -81,6 +83,7 @@ TEST(Wire, JobRoundTripIsBitExact) {
 
   EXPECT_EQ(back.session_id, job.session_id);
   EXPECT_EQ(back.shard_key, job.shard_key);
+  EXPECT_EQ(back.seq, job.seq);
   EXPECT_EQ(back.correct, job.correct);
   EXPECT_EQ(back.allow_optimistic, job.allow_optimistic);
   EXPECT_EQ(back.reset_all, job.reset_all);
@@ -97,6 +100,7 @@ TEST(Wire, JobRoundTripIsBitExact) {
   EXPECT_EQ(back.options.dose_classes, job.options.dose_classes);
   EXPECT_EQ(back.options.density_warm_start, job.options.density_warm_start);
   EXPECT_EQ(back.options.worker_count, job.options.worker_count);
+  EXPECT_EQ(back.options.worker_hosts, job.options.worker_hosts);
   EXPECT_EQ(bits(back.options.worker_timeout_ms), bits(job.options.worker_timeout_ms));
   EXPECT_EQ(back.options.worker_max_restarts, job.options.worker_max_restarts);
   EXPECT_EQ(back.options.exposure.blur_backend, job.options.exposure.blur_backend);
@@ -110,6 +114,30 @@ TEST(Wire, JobRoundTripIsBitExact) {
   }
   ASSERT_EQ(back.ghosts.size(), job.ghosts.size());
   EXPECT_EQ(bits(back.ghosts[0].dose), bits(job.ghosts[0].dose));
+}
+
+TEST(Wire, SessionFramesRoundTripAndValidate) {
+  wire::Hello hello;
+  hello.session_id = 0x1122334455667788ULL;
+  hello.protocol = wire::kVersion;
+  const wire::Hello hback = wire::decode_hello(wire::encode(hello));
+  EXPECT_EQ(hback.session_id, hello.session_id);
+  EXPECT_EQ(hback.protocol, hello.protocol);
+
+  wire::HelloAck ack;
+  ack.session_id = hello.session_id;
+  ack.last_seq = 41;
+  const wire::HelloAck aback = wire::decode_hello_ack(wire::encode(ack));
+  EXPECT_EQ(aback.session_id, ack.session_id);
+  EXPECT_EQ(aback.last_seq, ack.last_seq);
+
+  EXPECT_EQ(wire::decode_token(wire::encode_token(0xfeedface12345678ULL)),
+            0xfeedface12345678ULL);
+
+  // Truncation and trailing garbage are rejected like every other payload.
+  EXPECT_THROW(wire::decode_hello(wire::encode(hello).substr(0, 5)), DataError);
+  EXPECT_THROW(wire::decode_hello_ack(wire::encode(ack) + "x"), DataError);
+  EXPECT_THROW(wire::decode_token(""), DataError);
 }
 
 TEST(Wire, ResultRoundTripIsBitExact) {
@@ -214,9 +242,10 @@ TEST(Wire, TruncatedPayloadThrowsAtEveryCut) {
 
 TEST(Wire, MalformedFieldValuesRejected) {
   std::string payload = wire::encode(sample_job());
-  // Offset 16: the 'correct' flag — booleans must be 0 or 1.
-  ASSERT_GT(payload.size(), 16u);
-  payload[16] = 2;
+  // Offset 24 (after session_id, shard_key, seq): the 'correct' flag —
+  // booleans must be 0 or 1.
+  ASSERT_GT(payload.size(), 24u);
+  payload[24] = 2;
   EXPECT_THROW(wire::decode_shard_job(payload), DataError);
 }
 

@@ -1,0 +1,232 @@
+// Tests for the TCP primitives (util/net.h) and the nonblocking-fd
+// semantics of write_all / read_exact (util/subprocess.h) they lean on —
+// the EAGAIN/short-write pins for the PEC-as-a-service transport: every
+// socket the net layer hands out is O_NONBLOCK, so the whole-buffer I/O
+// helpers MUST absorb EAGAIN by polling (with or without a deadline)
+// instead of surfacing it as a stream error.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/contracts.h"
+#include "util/net.h"
+#include "util/subprocess.h"
+
+namespace ebl {
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+clock_t_::time_point after_ms(int ms) {
+  return clock_t_::now() + std::chrono::milliseconds(ms);
+}
+
+void set_nonblock(int fd) {
+  ASSERT_EQ(::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK), 0);
+}
+
+TEST(ParseHostPort, AcceptsHostColonPort) {
+  const net::HostPort hp = net::parse_host_port("127.0.0.1:9000");
+  EXPECT_EQ(hp.host, "127.0.0.1");
+  EXPECT_EQ(hp.port, 9000);
+
+  const net::HostPort name = net::parse_host_port("worker-3.example:80");
+  EXPECT_EQ(name.host, "worker-3.example");
+  EXPECT_EQ(name.port, 80);
+
+  // Port 0 is valid (ephemeral bind).
+  EXPECT_EQ(net::parse_host_port("localhost:0").port, 0);
+}
+
+TEST(ParseHostPort, RejectsMalformedSpecs) {
+  EXPECT_THROW(net::parse_host_port("no-port"), DataError);
+  EXPECT_THROW(net::parse_host_port(":9000"), DataError);
+  EXPECT_THROW(net::parse_host_port("host:"), DataError);
+  EXPECT_THROW(net::parse_host_port("host:abc"), DataError);
+  EXPECT_THROW(net::parse_host_port("host:70000"), DataError);
+  EXPECT_THROW(net::parse_host_port(""), DataError);
+}
+
+TEST(Net, LoopbackRoundTrip) {
+  net::TcpListener listener = net::TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_NE(listener.port(), 0) << "ephemeral bind must report the real port";
+
+  net::TcpSocket client =
+      net::TcpSocket::connect("127.0.0.1", listener.port(), after_ms(2000));
+  std::optional<net::TcpSocket> server = listener.accept(after_ms(2000));
+  ASSERT_TRUE(server.has_value());
+
+  // Both directions, whole-buffer semantics on O_NONBLOCK fds.
+  const std::string ping = "hello over tcp";
+  write_all(client.fd(), ping.data(), ping.size());
+  std::string got(ping.size(), '\0');
+  ASSERT_TRUE(read_exact(server->fd(), got.data(), got.size()));
+  EXPECT_EQ(got, ping);
+
+  const std::string pong = "and back again";
+  write_all(server->fd(), pong.data(), pong.size());
+  got.assign(pong.size(), '\0');
+  ASSERT_TRUE(read_exact(client.fd(), got.data(), got.size(), after_ms(2000)));
+  EXPECT_EQ(got, pong);
+
+  // Half-close propagates as clean EOF on the peer's next read.
+  client.shutdown_write();
+  char byte = 0;
+  EXPECT_FALSE(read_exact(server->fd(), &byte, 1));
+}
+
+TEST(Net, ConnectToDeadPortFailsLoudly) {
+  // Grab an ephemeral port, then close the listener: connecting to it must
+  // be a DataError (refused), not a hang — this is the path a supervisor
+  // reconnect takes when a daemon has crashed, and it must consume restart
+  // budget quickly.
+  std::uint16_t port = 0;
+  {
+    net::TcpListener listener = net::TcpListener::bind("127.0.0.1", 0);
+    port = listener.port();
+  }
+  EXPECT_THROW(net::TcpSocket::connect("127.0.0.1", port, after_ms(2000)),
+               DataError);
+}
+
+TEST(Net, AcceptHonorsDeadline) {
+  net::TcpListener listener = net::TcpListener::bind("127.0.0.1", 0);
+  const auto t0 = clock_t_::now();
+  EXPECT_FALSE(listener.accept(after_ms(50)).has_value());
+  const auto waited = clock_t_::now() - t0;
+  EXPECT_GE(waited, std::chrono::milliseconds(45));
+  EXPECT_LT(waited, std::chrono::seconds(5));
+}
+
+TEST(Net, ReadDeadlineThrowsTimeoutOnSilentPeer) {
+  net::TcpListener listener = net::TcpListener::bind("127.0.0.1", 0);
+  net::TcpSocket client =
+      net::TcpSocket::connect("127.0.0.1", listener.port(), after_ms(2000));
+  std::optional<net::TcpSocket> server = listener.accept(after_ms(2000));
+  ASSERT_TRUE(server.has_value());
+
+  char byte = 0;
+  EXPECT_THROW(read_exact(client.fd(), &byte, 1, after_ms(80)), TimeoutError);
+}
+
+TEST(Net, ShutdownBothWakesABlockedReader) {
+  net::TcpListener listener = net::TcpListener::bind("127.0.0.1", 0);
+  net::TcpSocket client =
+      net::TcpSocket::connect("127.0.0.1", listener.port(), after_ms(2000));
+  std::optional<net::TcpSocket> server = listener.accept(after_ms(2000));
+  ASSERT_TRUE(server.has_value());
+
+  // The supervisor's unblock primitive: another thread shutting the socket
+  // down must pop a reader out of its poll with EOF, not leave it waiting
+  // out a deadline.
+  std::thread unblocker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    client.shutdown_both();
+  });
+  char byte = 0;
+  EXPECT_FALSE(read_exact(client.fd(), &byte, 1, after_ms(5000)));
+  unblocker.join();
+}
+
+// ---- The satellite EAGAIN/short-write pins (util/subprocess.h) ----
+
+TEST(NonblockingIo, ReadExactAbsorbsEagainWithoutDeadline) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  set_nonblock(fds[0]);
+
+  // Nothing buffered yet: a plain read() would return EAGAIN. read_exact
+  // must wait for the late writer, not throw.
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const char msg[] = "late";
+    write_all(fds[1], msg, 4);
+  });
+  char got[4] = {};
+  EXPECT_TRUE(read_exact(fds[0], got, 4));
+  EXPECT_EQ(std::memcmp(got, "late", 4), 0);
+  writer.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(NonblockingIo, WriteAllAbsorbsEagainAcrossAFullPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  set_nonblock(fds[1]);
+
+  // Far more than any pipe buffer: the writer WILL hit EAGAIN mid-record.
+  // With a reader draining slowly, write_all must complete the whole buffer
+  // (this was the hole: EAGAIN used to surface as a DataError).
+  const std::size_t n = 4u << 20;
+  std::vector<char> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<char>(i * 31 + 7);
+
+  std::vector<char> got(n);
+  std::thread reader([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(read_exact(fds[0], got.data(), got.size()));
+  });
+  write_all(fds[1], data.data(), data.size());
+  reader.join();
+  EXPECT_EQ(std::memcmp(got.data(), data.data(), n), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(NonblockingIo, WriteDeadlineThrowsTimeoutWhenPeerStopsDraining) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  set_nonblock(fds[1]);
+
+  // No reader at all: the pipe fills, then the deadline must fire as a
+  // TimeoutError (the send-side half of hung-peer detection), never a hang
+  // and never a bogus stream error.
+  const std::size_t n = 4u << 20;
+  std::vector<char> data(n, 'x');
+  EXPECT_THROW(write_all(fds[1], data.data(), data.size(), after_ms(100)),
+               TimeoutError);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(NonblockingIo, SocketBulkTransferBothDirectionsConcurrently) {
+  net::TcpListener listener = net::TcpListener::bind("127.0.0.1", 0);
+  net::TcpSocket client =
+      net::TcpSocket::connect("127.0.0.1", listener.port(), after_ms(2000));
+  std::optional<net::TcpSocket> server = listener.accept(after_ms(2000));
+  ASSERT_TRUE(server.has_value());
+
+  // Send buffers fill in both directions at once — every EAGAIN path in
+  // write_all and read_exact runs for real. Deadlocks impossible: each side
+  // has its own reader.
+  const std::size_t n = 8u << 20;
+  std::vector<char> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<char>(i * 131 + 17);
+    b[i] = static_cast<char>(i * 251 + 3);
+  }
+  std::vector<char> got_a(n), got_b(n);
+  std::thread server_side([&] {
+    std::thread w([&] { write_all(server->fd(), b.data(), n); });
+    ASSERT_TRUE(read_exact(server->fd(), got_a.data(), n, after_ms(30000)));
+    w.join();
+  });
+  std::thread client_writer([&] { write_all(client.fd(), a.data(), n); });
+  ASSERT_TRUE(read_exact(client.fd(), got_b.data(), n, after_ms(30000)));
+  client_writer.join();
+  server_side.join();
+  EXPECT_EQ(std::memcmp(got_a.data(), a.data(), n), 0);
+  EXPECT_EQ(std::memcmp(got_b.data(), b.data(), n), 0);
+}
+
+}  // namespace
+}  // namespace ebl

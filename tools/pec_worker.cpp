@@ -17,14 +17,37 @@
 // long-lived worker starts seeing a different solve.
 //
 // Usage:
-//   pec_worker [--jobs PATH] [--results PATH] [--pool-budget N] [--fault PLAN]
+//   pec_worker [--jobs PATH] [--results PATH] [--listen HOST:PORT]
+//              [--pool-budget N] [--fault PLAN]
 //
 //   --jobs PATH      read jobs from PATH instead of stdin
 //   --results PATH   write results to PATH instead of stdout
+//   --listen H:P     PEC as a service: run as a TCP daemon instead of a
+//                    stdio worker. Binds H:P (port 0 = ephemeral; the real
+//                    port is printed to stdout as
+//                    "pec_worker: listening on N") and serves one client
+//                    connection at a time. Each connection re-handshakes a
+//                    driver session (wire v4 Hello/HelloAck, exact protocol
+//                    version match); the resident evaluator pool is keyed by
+//                    the jobs' session tag, so a reconnecting driver finds
+//                    its pool still warm. Sequenced jobs (seq != 0) feed a
+//                    bounded replay cache: a job re-sent after a dropped
+//                    connection is answered with the cached result frame,
+//                    byte for byte, instead of being solved twice (jobs are
+//                    pure, so a cache miss re-solves to identical doses —
+//                    the cache is a work saver, never a correctness need).
+//                    A connection-level protocol error ends that session
+//                    (logged) and the daemon keeps accepting.
 //   --pool-budget N  cap the resident evaluator pool at N evaluators,
 //                    overriding each job's resident_shard_budget (manual /
 //                    debugging use; the driver sizes pools via the job)
 //   --fault PLAN     fault-injection plan (testing the supervisor; see below)
+//
+// Graceful shutdown (both modes): SIGTERM / SIGINT request a stop. The
+// worker finishes and flushes the job in flight, then exits 0 at the next
+// frame boundary — handlers are installed without SA_RESTART and the idle
+// waits are stop-aware poll slices, so a signal is honored promptly even
+// with no traffic at all.
 //
 // Fault injection: the chaos half of the supervision contract is tested by
 // making real workers misbehave on purpose. A plan comes from --fault or the
@@ -46,16 +69,20 @@
 // solve arithmetic — so a recovered run stays bitwise-identical to a
 // fault-free one (the property the fault tests pin down).
 #include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <unistd.h>
 
 #include "util/subprocess.h"
@@ -64,10 +91,45 @@
 #include "pec/sharded.h"
 #include "pec/wire.h"
 #include "util/contracts.h"
+#include "util/net.h"
 
 using namespace ebl;
 
 namespace {
+
+// Set by SIGTERM/SIGINT; checked at every frame boundary. sig_atomic_t +
+// handlers without SA_RESTART is the whole synchronization story: a signal
+// mid-poll returns EINTR, the wait loop re-checks the flag, and the worker
+// winds down with the in-flight job finished and flushed.
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_stop_signal(int) { g_stop = 1; }
+
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: blocked waits must wake
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+// Stop-aware idle wait: polls @p fd for readability in 100 ms slices,
+// re-checking g_stop before each. Returns false when a stop was requested
+// first — the caller exits cleanly at the frame boundary it is sitting on.
+bool wait_readable_or_stop(int fd) {
+  for (;;) {
+    if (g_stop) return false;
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int rv = ::poll(&pfd, 1, 100);
+    if (rv < 0) {
+      if (errno == EINTR) continue;  // loop re-checks g_stop
+      throw DataError(std::string("pec_worker: poll failed: ") +
+                      std::strerror(errno));
+    }
+    if (rv > 0) return true;  // readable (or HUP/ERR: read_frame surfaces it)
+  }
+}
 
 struct PoolEntry {
   std::unique_ptr<ExposureEvaluator> eval;
@@ -185,6 +247,111 @@ struct FaultPlan {
   }
 };
 
+// Idempotent-replay cache of the daemon mode: the framed result bytes of
+// the most recent sequenced jobs, per driver session. A reconnecting driver
+// re-sends every unacknowledged job with its original seq; a hit answers
+// with the identical bytes, a miss re-solves the pure job to identical
+// doses — so the bound (and the eviction of the lowest seq, the job least
+// likely to be replayed) trades only memory against re-solve work.
+class ReplayCache {
+ public:
+  static constexpr std::size_t kMaxEntries = 32;
+
+  const std::string* lookup(std::uint64_t session, std::uint64_t seq) {
+    reset_if_new(session);
+    const auto it = entries_.find(seq);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  void store(std::uint64_t session, std::uint64_t seq, std::string framed) {
+    reset_if_new(session);
+    last_seq_ = std::max(last_seq_, seq);
+    entries_[seq] = std::move(framed);
+    while (entries_.size() > kMaxEntries) entries_.erase(entries_.begin());
+  }
+
+  /// Highest seq served for @p session — reported in the HelloAck so a
+  /// reconnecting driver learns how far the dropped connection really got.
+  std::uint64_t last_seq(std::uint64_t session) {
+    reset_if_new(session);
+    return last_seq_;
+  }
+
+ private:
+  void reset_if_new(std::uint64_t session) {
+    if (session == session_) return;
+    session_ = session;
+    last_seq_ = 0;
+    entries_.clear();
+  }
+
+  std::uint64_t session_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::map<std::uint64_t, std::string> entries_;  ///< seq -> framed result
+};
+
+// One job frame, already type-checked by the caller: fault hooks, decode,
+// replay dedup (daemon mode), solve, fault hooks, answer. Shared verbatim
+// by the stdio loop and the daemon session loop so both modes serve the
+// identical solve with the identical fault-injection surface.
+void serve_job(const wire::Frame& frame, int results_fd, EvaluatorPool& pool,
+               ReplayCache* replay, int budget_override, const FaultPlan& fault,
+               std::uint64_t& served) {
+  if (served == fault.crash_after) {
+    std::cerr << "pec_worker: injected crash after " << served << " job(s)\n";
+    std::_Exit(3);
+  }
+  if (served == fault.hang_after) {
+    std::cerr << "pec_worker: injected hang after " << served << " job(s)\n";
+    for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+  }
+  const wire::ShardJob job = wire::decode_shard_job(frame.payload);
+  if (replay && job.seq != 0) {
+    if (const std::string* cached = replay->lookup(job.session_id, job.seq)) {
+      // Duplicate delivery after a reconnect: answer with the cached frame,
+      // byte for byte, and do not solve (or count a fault trigger) twice.
+      std::cerr << "pec_worker: replaying cached result for seq " << job.seq
+                << "\n";
+      write_all(results_fd, cached->data(), cached->size());
+      return;
+    }
+  }
+  const int budget =
+      budget_override >= 0 ? budget_override : job.options.resident_shard_budget;
+
+  wire::ShardResult result = solve_shard_job(job, pool.slot_for(job, budget));
+  if (budget > 0) pool.settle(job.shard_key, budget);
+  result.pool_resident = pool.resident();
+  result.pool_evictions = pool.evictions();
+  const std::string msg =
+      wire::encode_framed(wire::MsgType::kShardResult, wire::encode(result));
+  if (replay && job.seq != 0) replay->store(job.session_id, job.seq, msg);
+  if (served == fault.truncate_after) {
+    // Half a result frame, then death: the driver's reader must see a
+    // mid-record EOF (or a deadline), never a plausible partial result.
+    write_all(results_fd, msg.data(), msg.size() / 2);
+    std::cerr << "pec_worker: injected truncated frame after " << served
+              << " job(s)\n";
+    std::_Exit(3);
+  }
+  if (served == fault.corrupt_after) {
+    // One flipped payload byte under an honest CRC trailer: the driver
+    // must reject the frame on checksum, not apply garbage doses. (The
+    // replay cache keeps the honest bytes — the fault models a flaky wire,
+    // not a wrong solve.)
+    std::string bad = msg;
+    bad[wire::kFrameHeaderSize + (bad.size() - wire::kFrameHeaderSize - 4) / 2] ^=
+        0x40;
+    std::cerr << "pec_worker: injected corrupt frame after " << served
+              << " job(s)\n";
+    write_all(results_fd, bad.data(), bad.size());
+    ++served;
+    return;
+  }
+  write_all(results_fd, msg.data(), msg.size());
+  ++served;
+}
+
 int run(int jobs_fd, int results_fd, int budget_override, const FaultPlan& fault) {
   if (fault.slow_start_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(fault.slow_start_ms));
@@ -192,56 +359,98 @@ int run(int jobs_fd, int results_fd, int budget_override, const FaultPlan& fault
   EvaluatorPool pool;
   wire::Frame frame;
   std::uint64_t served = 0;
-  while (wire::read_frame(jobs_fd, &frame)) {
+  for (;;) {
+    if (!wait_readable_or_stop(jobs_fd)) {
+      std::cerr << "pec_worker: stop signal; exiting at a frame boundary\n";
+      break;
+    }
+    if (!wire::read_frame(jobs_fd, &frame)) break;
     if (frame.type != wire::MsgType::kShardJob)
       throw DataError("pec_worker: expected a shard job frame");
-    if (served == fault.crash_after) {
-      std::cerr << "pec_worker: injected crash after " << served << " job(s)\n";
-      std::_Exit(3);
-    }
-    if (served == fault.hang_after) {
-      std::cerr << "pec_worker: injected hang after " << served << " job(s)\n";
-      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
-    }
-    const wire::ShardJob job = wire::decode_shard_job(frame.payload);
-    const int budget =
-        budget_override >= 0 ? budget_override : job.options.resident_shard_budget;
-
-    wire::ShardResult result =
-        solve_shard_job(job, pool.slot_for(job, budget));
-    if (budget > 0) pool.settle(job.shard_key, budget);
-    result.pool_resident = pool.resident();
-    result.pool_evictions = pool.evictions();
-    if (served == fault.truncate_after) {
-      // Half a result frame, then death: the driver's reader must see a
-      // mid-record EOF (or a deadline), never a plausible partial result.
-      const std::string msg =
-          wire::encode_framed(wire::MsgType::kShardResult, wire::encode(result));
-      write_all(results_fd, msg.data(), msg.size() / 2);
-      std::cerr << "pec_worker: injected truncated frame after " << served
-                << " job(s)\n";
-      std::_Exit(3);
-    }
-    if (served == fault.corrupt_after) {
-      // One flipped payload byte under an honest CRC trailer: the driver
-      // must reject the frame on checksum, not apply garbage doses.
-      std::string msg =
-          wire::encode_framed(wire::MsgType::kShardResult, wire::encode(result));
-      msg[wire::kFrameHeaderSize + (msg.size() - wire::kFrameHeaderSize - 4) / 2] ^=
-          0x40;
-      std::cerr << "pec_worker: injected corrupt frame after " << served
-                << " job(s)\n";
-      write_all(results_fd, msg.data(), msg.size());
-      ++served;
-      continue;
-    }
-    wire::write_frame(results_fd, wire::MsgType::kShardResult,
-                      wire::encode(result));
-    ++served;
+    serve_job(frame, results_fd, pool, /*replay=*/nullptr, budget_override,
+              fault, served);
   }
   std::cerr << "pec_worker: served " << served << " job(s), "
             << pool.resident() << " evaluator(s) resident, "
             << pool.evictions() << " eviction(s)\n";
+  return 0;
+}
+
+// One accepted connection = one session: Hello handshake, then jobs and
+// pings until the client half-closes (clean end) or a stop is requested.
+// Throws on protocol violations — the caller logs and keeps accepting.
+void serve_session(net::TcpSocket& sock, EvaluatorPool& pool,
+                   ReplayCache& replay, int budget_override,
+                   const FaultPlan& fault, std::uint64_t& served) {
+  const int fd = sock.fd();
+  wire::Frame frame;
+  // The client speaks first; bound the handshake so a connect-and-stall
+  // client cannot wedge the daemon for everyone behind it.
+  const auto handshake_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  if (!wire::read_frame(fd, &frame, handshake_deadline))
+    return;  // connected and left without a word; not worth a log line
+  if (frame.type != wire::MsgType::kHello)
+    throw DataError("pec_worker: expected a hello frame");
+  const wire::Hello hello = wire::decode_hello(frame.payload);
+  if (hello.protocol != wire::kVersion)
+    throw DataError("pec_worker: protocol version mismatch (client v" +
+                    std::to_string(hello.protocol) + ", daemon v" +
+                    std::to_string(wire::kVersion) + ")");
+  wire::HelloAck ack;
+  ack.session_id = hello.session_id;
+  ack.last_seq = replay.last_seq(hello.session_id);
+  wire::write_frame(fd, wire::MsgType::kHelloAck, wire::encode(ack),
+                    handshake_deadline);
+  for (;;) {
+    if (!wait_readable_or_stop(fd)) return;  // stop requested; session over
+    if (!wire::read_frame(fd, &frame)) return;  // clean session end
+    if (frame.type == wire::MsgType::kPing) {
+      wire::write_frame(fd, wire::MsgType::kPong, frame.payload);
+      continue;
+    }
+    if (frame.type != wire::MsgType::kShardJob)
+      throw DataError("pec_worker: expected a shard job frame");
+    serve_job(frame, fd, pool, &replay, budget_override, fault, served);
+  }
+}
+
+int run_daemon(const net::HostPort& addr, int budget_override,
+               const FaultPlan& fault) {
+  net::TcpListener listener = net::TcpListener::bind(addr.host, addr.port);
+  // The one line a spawning test/driver parses — flushed so it arrives even
+  // through a pipe.
+  std::printf("pec_worker: listening on %u\n",
+              static_cast<unsigned>(listener.port()));
+  std::fflush(stdout);
+  if (fault.slow_start_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.slow_start_ms));
+  }
+
+  // Sessions are served sequentially, and the pool and replay cache live
+  // ACROSS them — that is the whole point of the daemon: a driver that
+  // reconnects (same session tag) finds its evaluators warm and its served
+  // jobs replayable.
+  EvaluatorPool pool;
+  ReplayCache replay;
+  std::uint64_t served = 0;
+  std::uint64_t sessions = 0;
+  while (!g_stop) {
+    std::optional<net::TcpSocket> client = listener.accept(
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200));
+    if (!client) continue;  // slice expired; re-check the stop flag
+    ++sessions;
+    try {
+      serve_session(*client, pool, replay, budget_override, fault, served);
+    } catch (const std::exception& e) {
+      // A broken client (or a fault-injection proxy doing its job) costs
+      // that session only; the daemon keeps accepting.
+      std::cerr << "pec_worker: session ended with error: " << e.what()
+                << "\n";
+    }
+  }
+  std::cerr << "pec_worker: stop signal; served " << served << " job(s) over "
+            << sessions << " session(s)\n";
   return 0;
 }
 
@@ -250,6 +459,7 @@ int run(int jobs_fd, int results_fd, int budget_override, const FaultPlan& fault
 int main(int argc, char** argv) {
   std::string jobs_path;
   std::string results_path;
+  std::string listen_spec;
   int budget_override = -1;
   const char* fault_env = std::getenv("EBL_FAULT_PLAN");
   std::string fault_spec = fault_env ? fault_env : "";
@@ -260,14 +470,28 @@ int main(int argc, char** argv) {
       jobs_path = argv[++i];
     } else if (arg == "--results" && has_value) {
       results_path = argv[++i];
+    } else if (arg == "--listen" && has_value) {
+      listen_spec = argv[++i];
     } else if (arg == "--pool-budget" && has_value) {
       budget_override = std::atoi(argv[++i]);
     } else if (arg == "--fault" && has_value) {
       fault_spec = argv[++i];  // the flag beats the environment
     } else {
       std::cerr << "usage: pec_worker [--jobs PATH] [--results PATH]"
-                   " [--pool-budget N] [--fault PLAN]\n";
+                   " [--listen HOST:PORT] [--pool-budget N] [--fault PLAN]\n";
       return 2;
+    }
+  }
+
+  install_stop_handlers();
+
+  if (!listen_spec.empty()) {
+    try {
+      return run_daemon(net::parse_host_port(listen_spec), budget_override,
+                        FaultPlan::parse(fault_spec));
+    } catch (const std::exception& e) {
+      std::cerr << "pec_worker: " << e.what() << "\n";
+      return 1;
     }
   }
 
