@@ -47,7 +47,7 @@ for doc in $docs; do
   # Backticked repo paths: `src/...`, `docs/...`, etc. (must contain a /).
   while IFS= read -r ref; do
     check "$doc" "$ref"
-  done < <(grep -oE '`(src|docs|examples|tests|bench|scripts|\.github)/[^`]+`' "$doc" \
+  done < <(grep -oE '`(src|docs|examples|tests|bench|scripts|tools|\.github)/[^`]+`' "$doc" \
            | tr -d '`')
 done
 

@@ -3,7 +3,8 @@
 // Layering (each header usable on its own):
 //   geom     — integer geometry kernel: points, polygons, booleans,
 //              trapezoids, sizing, curves, rasterization
-//   layout   — hierarchical cell database + GDSII I/O
+//   layout   — hierarchical cell database + GDSII/OASIS I/O + streaming
+//              cell-at-a-time ingestion
 //   fracture — polygon -> machine-shot decomposition + EBF records
 //   pec      — point-spread functions, exposure evaluation, dose correction
 //   sim      — resist models, exposure simulation, contours, CD metrics,
@@ -23,6 +24,8 @@
 #include "geom/sizing.h"
 #include "layout/gdsii.h"
 #include "layout/library.h"
+#include "layout/oasis.h"
+#include "layout/stream.h"
 #include "machine/distortion.h"
 #include "machine/field.h"
 #include "machine/ordering.h"

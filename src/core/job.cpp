@@ -16,9 +16,16 @@ const WriteTime& PrepResult::time_for(const std::string& machine) const {
   throw ContractViolation("no estimate for machine " + machine);
 }
 
-PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options) {
-  expects(!geometry.empty(), "run_data_prep: empty geometry");
+namespace {
 
+/// Shared stage driver: @p front is the geometry-producing first stage
+/// ("fracture" for in-RAM input, "ingest" for streamed file input); the
+/// remaining stages are identical. @p epe_target is the flattened geometry
+/// the optional epe stage scores against — for streamed jobs the front
+/// stage fills it, which is safe because stages run in order.
+PrepResult run_pipeline(const PrepOptions& options, const char* front_name,
+                        const std::function<void(PrepResult&)>& front,
+                        const PolygonSet& epe_target) {
   PrepResult result;
 
   // Thread precedence: an explicit per-stage knob wins, then the
@@ -36,12 +43,7 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
     std::function<void()> run;
   };
   const Stage stages[] = {
-      {"fracture", true,
-       [&] {
-         FractureResult frac = fracture(geometry, options.fracture);
-         result.fracture = frac.stats;
-         result.shots = std::move(frac.shots);
-       }},
+      {front_name, true, [&] { front(result); }},
       // Uncorrected-error measurement. Needs a whole-pattern evaluator, so
       // it only runs for the global solve; sharded jobs exist precisely to
       // avoid that O(pattern) footprint.
@@ -105,7 +107,7 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
        [&] {
          EpeOptions score = options.epe->score;
          if (score.sim.threads == 0) score.sim.threads = options.threads;
-         result.epe = measure_epe(result.shots, *options.pec_psf, geometry,
+         result.epe = measure_epe(result.shots, *options.pec_psf, epe_target,
                                   options.epe->print_level, score);
        }},
   };
@@ -122,10 +124,48 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options)
   return result;
 }
 
+}  // namespace
+
+PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options) {
+  expects(!geometry.empty(), "run_data_prep: empty geometry");
+  return run_pipeline(
+      options, "fracture",
+      [&](PrepResult& result) {
+        FractureResult frac = fracture(geometry, options.fracture);
+        result.fracture = frac.stats;
+        result.shots = std::move(frac.shots);
+      },
+      geometry);
+}
+
 PrepResult run_data_prep(const Library& lib, CellId top, LayerKey layer,
                          const PrepOptions& options) {
   lib.validate();
   return run_data_prep(lib.flatten(top, layer), options);
+}
+
+PrepResult run_data_prep(const PrepOptions& options) {
+  expects(!options.input_path.empty(), "run_data_prep: input_path not set");
+  const auto stream = open_layout_stream(options.input_path);
+  // The epe stage needs the flattened target geometry; collect it during
+  // ingest only when that stage will actually run, preserving the O(window)
+  // footprint otherwise.
+  PolygonSet collected;
+  PolygonSet* collect =
+      options.epe.has_value() && options.pec_psf.has_value() ? &collected : nullptr;
+  return run_pipeline(
+      options, "ingest",
+      [&, collect](PrepResult& result) {
+        StreamFractureResult r =
+            stream_fracture(*stream, options.ingest, options.fracture, collect);
+        if (r.ingest.polygons == 0)
+          throw DataError("run_data_prep: no geometry on the requested layer in " +
+                          options.input_path);
+        result.fracture = r.fracture.stats;
+        result.shots = std::move(r.fracture.shots);
+        result.ingest = r.ingest;
+      },
+      collected);
 }
 
 }  // namespace ebl

@@ -11,6 +11,7 @@
 
 #include "fracture/fracture.h"
 #include "layout/library.h"
+#include "layout/stream.h"
 #include "machine/field.h"
 #include "machine/writer.h"
 #include "pec/correction.h"
@@ -59,6 +60,14 @@ struct PrepOptions {
   RasterScanParams raster;
   VectorScanParams vector_scan;
   VsbParams vsb;
+
+  /// Streamed file input, used by run_data_prep(const PrepOptions&): the
+  /// layout at this path (.gds / .gdsii / .oas / .oasis, dispatched by
+  /// extension) is ingested cell by cell and fractured without ever
+  /// materializing the library in RAM. `ingest` picks the top cell, the
+  /// layer, and the resident-cell window (see layout/stream.h).
+  std::string input_path;
+  IngestOptions ingest;
 };
 
 struct MachineEstimate {
@@ -105,10 +114,15 @@ struct PrepResult {
   /// PrepOptions::epe and pec_psf were both set).
   std::optional<EpeStats> epe;
 
+  /// Streaming-ingestion counters (present for file-input jobs run through
+  /// run_data_prep(const PrepOptions&)).
+  std::optional<IngestStats> ingest;
+
   /// Wall-clock per executed stage, in execution order. Stage names:
   /// "fracture", "pec_baseline" (global PEC only), "pec", "field_partition",
   /// "write_time", "epe" (when PrepOptions::epe is set); disabled stages are
-  /// absent. Sharded PEC jobs additionally
+  /// absent. File-input jobs replace "fracture" with "ingest", which covers
+  /// the fused stream-and-fracture front end. Sharded PEC jobs additionally
   /// record one "pec_round_N" entry per halo-exchange round plus
   /// "pec_measure" when a final measurement pass ran — sub-stages of "pec",
   /// listed just before it — so the exchange cost is visible in profiles.
@@ -123,5 +137,11 @@ PrepResult run_data_prep(const PolygonSet& geometry, const PrepOptions& options 
 /// Runs the pipeline on one layer of a hierarchical layout (flattens first).
 PrepResult run_data_prep(const Library& lib, CellId top, LayerKey layer,
                          const PrepOptions& options = {});
+
+/// Runs the pipeline on a layout file (options.input_path must be set):
+/// cells stream through the bounded window straight into fracture, so peak
+/// memory is O(window) cells plus the shot list — never the flat geometry.
+/// The shots are bitwise-identical to flattening the same file in RAM.
+PrepResult run_data_prep(const PrepOptions& options);
 
 }  // namespace ebl

@@ -5,9 +5,12 @@
 #include <fstream>
 #include <istream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <vector>
 
+#include "layout/stream.h"
 #include "util/contracts.h"
 
 namespace ebl {
@@ -85,27 +88,45 @@ class RecordReader {
  public:
   explicit RecordReader(std::istream& is) : is_(is) {}
 
-  /// Reads the next record; returns false at a clean EOF.
+  /// Reads the next record; returns false at a clean EOF. Tracks absolute
+  /// byte offsets so every DataError names where the corruption is.
   bool next() {
+    record_off_ = off_;
     std::uint8_t head[4];
     is_.read(reinterpret_cast<char*>(head), 4);
     if (is_.gcount() == 0) return false;
-    if (is_.gcount() != 4) throw DataError("GDS: truncated record header");
+    if (is_.gcount() != 4)
+      throw DataError("GDS: truncated record header at byte " + std::to_string(record_off_));
+    off_ += 4;
     const std::uint16_t len = static_cast<std::uint16_t>((head[0] << 8) | head[1]);
     type_ = static_cast<std::uint16_t>((head[2] << 8) | head[3]);
     if (len < 4) {
       // Some writers emit a null word as padding at EOF.
       if (len == 0 && type_ == 0) return false;
-      throw DataError("GDS: record length < 4");
+      throw DataError("GDS: record length < 4 at byte " + std::to_string(record_off_));
     }
     payload_.resize(len - 4u);
     if (!payload_.empty()) {
       is_.read(reinterpret_cast<char*>(payload_.data()),
                static_cast<std::streamsize>(payload_.size()));
       if (static_cast<std::size_t>(is_.gcount()) != payload_.size())
-        throw DataError("GDS: truncated record payload");
+        throw DataError("GDS: truncated record payload at byte " + std::to_string(record_off_));
+      off_ += payload_.size();
     }
     return true;
+  }
+
+  /// Absolute offset of the first header byte of the current record.
+  std::uint64_t record_offset() const { return record_off_; }
+
+  /// Repositions to a previously recorded record offset (structures are
+  /// self-contained, so BGNSTR offsets are safe re-parse points).
+  void seek(std::uint64_t off) {
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(off));
+    if (!is_) throw DataError("GDS: seek to byte " + std::to_string(off) + " failed");
+    off_ = off;
+    record_off_ = off;
   }
 
   std::uint16_t type() const { return type_; }
@@ -141,6 +162,8 @@ class RecordReader {
   std::istream& is_;
   std::uint16_t type_ = 0;
   std::vector<std::uint8_t> payload_;
+  std::uint64_t off_ = 0;
+  std::uint64_t record_off_ = 0;
 };
 
 std::vector<std::uint8_t> i16_payload(std::int16_t v) {
@@ -194,6 +217,205 @@ void write_transform(RecordWriter& w, const CTrans& t) {
     w.record(kAngle, p);
   }
 }
+
+/// LayoutStream over a GDSII byte source. The header (records up to the
+/// first BGNSTR) is parsed eagerly; next() then yields one structure per
+/// call. BGNSTR offsets are recorded so read_cell() can re-parse any seen
+/// structure via seek — GDS structures are self-contained, making them safe
+/// re-parse points.
+class GdsCellStream final : public LayoutStream {
+ public:
+  GdsCellStream(std::unique_ptr<std::istream> owned, std::istream& is)
+      : owned_(std::move(owned)), r_(is) {
+    if (!r_.next() || r_.type() != kHeader) throw DataError("GDS: missing HEADER record");
+    if (!r_.next() || r_.type() != kBgnLib) throw DataError("GDS: missing BGNLIB record");
+    for (;;) {
+      if (!r_.next()) throw DataError("GDS: missing ENDLIB at byte " + offset_str());
+      if (r_.type() == kLibName) {
+        name_ = r_.str();
+      } else if (r_.type() == kUnits) {
+        dbu_um_ = gds_detail::from_gds_real(r_.u64(0));
+        if (dbu_um_ <= 0) throw DataError("GDS: invalid UNITS at byte " + offset_str());
+      } else if (r_.type() == kBgnStr || r_.type() == kEndLib) {
+        data_start_ = r_.record_offset();
+        have_record_ = true;
+        break;
+      }
+      // other header records (timestamps, attributes): skip
+    }
+  }
+
+  const std::string& library_name() const override { return name_; }
+  double dbu_in_microns() const override { return dbu_um_; }
+  const GdsReadReport& report() const { return rep_; }
+
+  bool next(StreamCell& out, bool with_geometry) override {
+    if (pass_done_) return false;
+    for (;;) {
+      if (!have_record_ && !r_.next())
+        throw DataError("GDS: missing ENDLIB at byte " + offset_str());
+      have_record_ = false;
+      switch (r_.type()) {
+        case kEndLib:
+          pass_done_ = true;
+          return false;
+        case kBgnStr:
+          offsets_.push_back(r_.record_offset());
+          parse_structure(out, with_geometry);
+          return true;
+        case kBoundary:
+        case kSref:
+        case kAref:
+          throw DataError("GDS: element outside structure at byte " + offset_str());
+        default:
+          break;  // unknown top-level record: skip
+      }
+    }
+  }
+
+  void rewind() override {
+    r_.seek(data_start_);
+    have_record_ = false;
+    offsets_.clear();
+    pass_done_ = false;
+  }
+
+  std::size_t cells_seen() const override { return offsets_.size(); }
+
+  StreamCell read_cell(std::size_t index, bool with_geometry) override {
+    expects(index < offsets_.size(), "LayoutStream::read_cell index out of range");
+    r_.seek(offsets_[index]);
+    have_record_ = false;
+    ensures(r_.next() && r_.type() == kBgnStr, "GDS: structure vanished on re-read");
+    StreamCell out;
+    parse_structure(out, with_geometry);  // report counters re-count on re-parse
+    return out;
+  }
+
+ private:
+  std::string offset_str() const { return std::to_string(r_.record_offset()); }
+
+  void parse_structure(StreamCell& out, bool with_geometry) {
+    out = StreamCell{};
+    bool named = false;
+    for (;;) {
+      if (!r_.next()) throw DataError("GDS: missing ENDSTR at byte " + offset_str());
+      switch (r_.type()) {
+        case kStrName:
+          out.name = r_.str();
+          named = true;
+          ++rep_.structures;
+          break;
+        case kEndStr:
+          if (!named)
+            throw DataError("GDS: structure without STRNAME at byte " + offset_str());
+          return;
+        case kBoundary:
+          if (!named)
+            throw DataError("GDS: BOUNDARY outside structure at byte " + offset_str());
+          parse_boundary(out, with_geometry);
+          break;
+        case kSref:
+        case kAref:
+          if (!named)
+            throw DataError("GDS: reference outside structure at byte " + offset_str());
+          parse_reference(out, r_.type() == kAref);
+          break;
+        case kPath:
+        case kText:
+        case kNode:
+        case kBoxEl:
+          ++rep_.skipped_elements;
+          while (r_.next() && r_.type() != kEndEl) {
+          }
+          break;
+        case kBgnStr:
+        case kEndLib:
+          throw DataError("GDS: missing ENDSTR at byte " + offset_str());
+        default:
+          break;  // unknown element record: skip
+      }
+    }
+  }
+
+  void parse_boundary(StreamCell& out, bool with_geometry) {
+    LayerKey layer{};
+    std::vector<Point> pts;
+    while (r_.next() && r_.type() != kEndEl) {
+      if (r_.type() == kLayer) layer.layer = r_.i16(0);
+      else if (r_.type() == kDatatype) layer.datatype = r_.i16(0);
+      else if (r_.type() == kXy) {
+        const std::size_t n = r_.payload().size() / 8;
+        for (std::size_t i = 0; i < n; ++i) {
+          pts.push_back({static_cast<Coord>(r_.i32(i * 8)),
+                         static_cast<Coord>(r_.i32(i * 8 + 4))});
+        }
+      }
+    }
+    if (pts.size() >= 4 && pts.front() == pts.back()) pts.pop_back();
+    if (pts.size() >= 3) {
+      ++rep_.boundaries;
+      ++out.shape_count;
+      if (with_geometry) out.shapes[layer].emplace_back(SimplePolygon{std::move(pts)});
+    }
+  }
+
+  void parse_reference(StreamCell& out, bool is_aref) {
+    const std::uint64_t ref_off = r_.record_offset();
+    std::string child;
+    bool mirror = false;
+    double mag = 1.0;
+    double angle = 0.0;
+    std::uint16_t cols = 1;
+    std::uint16_t rows = 1;
+    std::vector<Point> xy;
+    while (r_.next() && r_.type() != kEndEl) {
+      if (r_.type() == kSname) child = r_.str();
+      else if (r_.type() == kStrans) mirror = (r_.u16(0) & 0x8000) != 0;
+      else if (r_.type() == kMag) mag = gds_detail::from_gds_real(r_.u64(0));
+      else if (r_.type() == kAngle) angle = gds_detail::from_gds_real(r_.u64(0));
+      else if (r_.type() == kColRow) {
+        cols = r_.u16(0);
+        rows = r_.u16(2);
+      } else if (r_.type() == kXy) {
+        const std::size_t n = r_.payload().size() / 8;
+        for (std::size_t i = 0; i < n; ++i) {
+          xy.push_back({static_cast<Coord>(r_.i32(i * 8)),
+                        static_cast<Coord>(r_.i32(i * 8 + 4))});
+        }
+      }
+    }
+    if (child.empty() || xy.empty())
+      throw DataError("GDS: incomplete reference at byte " + std::to_string(ref_off));
+    StreamRef ref;
+    ref.child = std::move(child);
+    ref.trans = CTrans{xy[0], angle, mag, mirror};
+    if (is_aref) {
+      if (xy.size() != 3 || cols == 0 || rows == 0)
+        throw DataError("GDS: malformed AREF at byte " + std::to_string(ref_off));
+      ref.cols = cols;
+      ref.rows = rows;
+      ref.col_step = {static_cast<Coord>((Coord64(xy[1].x) - xy[0].x) / cols),
+                      static_cast<Coord>((Coord64(xy[1].y) - xy[0].y) / cols)};
+      ref.row_step = {static_cast<Coord>((Coord64(xy[2].x) - xy[0].x) / rows),
+                      static_cast<Coord>((Coord64(xy[2].y) - xy[0].y) / rows)};
+      ++rep_.arefs;
+    } else {
+      ++rep_.srefs;
+    }
+    out.refs.push_back(std::move(ref));
+  }
+
+  std::unique_ptr<std::istream> owned_;
+  RecordReader r_;
+  std::string name_ = "LIB";
+  double dbu_um_ = 0.001;
+  std::uint64_t data_start_ = 0;
+  bool have_record_ = false;
+  bool pass_done_ = false;
+  std::vector<std::uint64_t> offsets_;
+  GdsReadReport rep_;
+};
 
 }  // namespace
 
@@ -318,158 +540,59 @@ void write_gds(const Library& lib, const std::string& path) {
 }
 
 Library read_gds(std::istream& is, GdsReadReport* report) {
-  RecordReader r(is);
-  GdsReadReport rep;
-
-  if (!r.next() || r.type() != kHeader) throw DataError("GDS: missing HEADER");
-  if (!r.next() || r.type() != kBgnLib) throw DataError("GDS: missing BGNLIB");
-  std::string libname = "LIB";
-  double dbu_um = 0.001;
-
-  // Pending references by child name (children may appear later in the file).
-  struct PendingRef {
-    CellId parent;
-    std::string child;
-    Reference ref;
-  };
-  std::vector<PendingRef> pending;
-
-  // First pass structures inline; resolve names at the end.
-  std::optional<Library> lib;
-  auto ensure_lib = [&]() -> Library& {
-    if (!lib) lib.emplace(libname, dbu_um);
-    return *lib;
-  };
-
-  std::optional<CellId> current;
-  bool done = false;
-  while (!done && r.next()) {
-    switch (r.type()) {
-      case kLibName:
-        libname = r.str();
-        break;
-      case kUnits: {
-        dbu_um = gds_detail::from_gds_real(r.u64(0));
-        if (dbu_um <= 0) throw DataError("GDS: invalid UNITS");
-        break;
-      }
-      case kBgnStr: {
-        current.reset();
-        break;
-      }
-      case kStrName: {
-        Library& l = ensure_lib();
-        const std::string name = r.str();
-        const auto existing = l.find_cell(name);
-        current = existing ? *existing : l.add_cell(name);
-        ++rep.structures;
-        break;
-      }
-      case kEndStr:
-        current.reset();
-        break;
-      case kBoundary: {
-        if (!current) throw DataError("GDS: BOUNDARY outside structure");
-        LayerKey layer{};
-        std::vector<Point> pts;
-        while (r.next() && r.type() != kEndEl) {
-          if (r.type() == kLayer) layer.layer = r.i16(0);
-          else if (r.type() == kDatatype) layer.datatype = r.i16(0);
-          else if (r.type() == kXy) {
-            const std::size_t n = r.payload().size() / 8;
-            for (std::size_t i = 0; i < n; ++i) {
-              pts.push_back({static_cast<Coord>(r.i32(i * 8)),
-                             static_cast<Coord>(r.i32(i * 8 + 4))});
-            }
-          }
-        }
-        if (pts.size() >= 4 && pts.front() == pts.back()) pts.pop_back();
-        if (pts.size() >= 3) {
-          ensure_lib().cell(*current).add_shape(layer, SimplePolygon{std::move(pts)});
-          ++rep.boundaries;
-        }
-        break;
-      }
-      case kSref:
-      case kAref: {
-        if (!current) throw DataError("GDS: reference outside structure");
-        const bool is_aref = r.type() == kAref;
-        std::string child;
-        bool mirror = false;
-        double mag = 1.0;
-        double angle = 0.0;
-        std::uint16_t cols = 1;
-        std::uint16_t rows = 1;
-        std::vector<Point> xy;
-        while (r.next() && r.type() != kEndEl) {
-          if (r.type() == kSname) child = r.str();
-          else if (r.type() == kStrans) mirror = (r.u16(0) & 0x8000) != 0;
-          else if (r.type() == kMag) mag = gds_detail::from_gds_real(r.u64(0));
-          else if (r.type() == kAngle) angle = gds_detail::from_gds_real(r.u64(0));
-          else if (r.type() == kColRow) {
-            cols = r.u16(0);
-            rows = r.u16(2);
-          } else if (r.type() == kXy) {
-            const std::size_t n = r.payload().size() / 8;
-            for (std::size_t i = 0; i < n; ++i) {
-              xy.push_back({static_cast<Coord>(r.i32(i * 8)),
-                            static_cast<Coord>(r.i32(i * 8 + 4))});
-            }
-          }
-        }
-        if (child.empty() || xy.empty()) throw DataError("GDS: incomplete reference");
-        Reference ref;
-        ref.trans = CTrans{xy[0], angle, mag, mirror};
-        if (is_aref) {
-          if (xy.size() != 3 || cols == 0 || rows == 0)
-            throw DataError("GDS: malformed AREF");
-          ref.cols = cols;
-          ref.rows = rows;
-          ref.col_step = {static_cast<Coord>((Coord64(xy[1].x) - xy[0].x) / cols),
-                          static_cast<Coord>((Coord64(xy[1].y) - xy[0].y) / cols)};
-          ref.row_step = {static_cast<Coord>((Coord64(xy[2].x) - xy[0].x) / rows),
-                          static_cast<Coord>((Coord64(xy[2].y) - xy[0].y) / rows)};
-          ++rep.arefs;
-        } else {
-          ++rep.srefs;
-        }
-        pending.push_back({*current, child, ref});
-        break;
-      }
-      case kPath:
-      case kText:
-      case kNode:
-      case kBoxEl: {
-        ++rep.skipped_elements;
-        while (r.next() && r.type() != kEndEl) {
-        }
-        break;
-      }
-      case kEndLib:
-        done = true;
-        break;
-      default:
-        break;  // unknown record: skip
+  // Whole-library reads are a thin shell over the streaming parser: drain
+  // every structure, then resolve names. Duplicate STRNAME structures merge
+  // into one cell, preserving file order of shapes and references.
+  GdsCellStream stream(nullptr, is);
+  std::vector<StreamCell> cells;
+  {
+    StreamCell c;
+    while (stream.next(c, true)) cells.push_back(std::move(c));
+  }
+  Library lib(stream.library_name(), stream.dbu_in_microns());
+  std::vector<CellId> ids(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto existing = lib.find_cell(cells[i].name);
+    ids[i] = existing ? *existing : lib.add_cell(cells[i].name);
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    Cell& cell = lib.cell(ids[i]);
+    for (auto& [layer, polys] : cells[i].shapes)
+      for (Polygon& poly : polys) cell.add_shape(layer, std::move(poly));
+    for (const StreamRef& sr : cells[i].refs) {
+      const auto child = lib.find_cell(sr.child);
+      if (!child) throw DataError("GDS: reference to undefined structure " + sr.child);
+      Reference ref;
+      ref.child = *child;
+      ref.trans = sr.trans;
+      ref.cols = sr.cols;
+      ref.rows = sr.rows;
+      ref.col_step = sr.col_step;
+      ref.row_step = sr.row_step;
+      cell.add_reference(ref);
     }
   }
-  if (!done) throw DataError("GDS: missing ENDLIB");
-
-  Library& l = ensure_lib();
-  for (auto& p : pending) {
-    const auto child = l.find_cell(p.child);
-    if (!child) throw DataError("GDS: reference to undefined structure " + p.child);
-    p.ref.child = *child;
-    l.cell(p.parent).add_reference(p.ref);
-  }
-  l.validate();
-  if (report) *report = rep;
-  return std::move(*lib);
+  lib.validate();
+  if (report) *report = stream.report();
+  return lib;
 }
 
 Library read_gds(const std::string& path, GdsReadReport* report) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw DataError("cannot open for reading: " + path);
   return read_gds(is, report);
+}
+
+std::unique_ptr<LayoutStream> open_gds_stream(std::unique_ptr<std::istream> is) {
+  expects(is != nullptr, "open_gds_stream: null stream");
+  std::istream& ref = *is;
+  return std::make_unique<GdsCellStream>(std::move(is), ref);
+}
+
+std::unique_ptr<LayoutStream> open_gds_stream(const std::string& path) {
+  auto is = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*is) throw DataError("cannot open for reading: " + path);
+  return open_gds_stream(std::move(is));
 }
 
 }  // namespace ebl

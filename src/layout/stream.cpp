@@ -1,0 +1,288 @@
+#include "layout/stream.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <list>
+#include <map>
+
+#include "geom/boolean.h"
+#include "layout/gdsii.h"
+#include "layout/oasis.h"
+#include "util/contracts.h"
+
+namespace ebl {
+
+const std::vector<Polygon>& StreamCell::shapes_on(LayerKey layer) const {
+  static const std::vector<Polygon> kEmpty;
+  const auto it = shapes.find(layer);
+  return it == shapes.end() ? kEmpty : it->second;
+}
+
+std::string LayoutStream::name_of(std::uint64_t) const {
+  throw DataError("layout stream has no refnum name table");
+}
+
+namespace {
+
+enum class LayoutFormat { gds, oas };
+
+/// Extension dispatch shared by open_layout_stream / read_layout /
+/// write_layout. Case-insensitive; throws for anything unrecognized.
+LayoutFormat format_of(const std::string& path) {
+  const auto dot = path.rfind('.');
+  std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+  for (char& c : ext) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (ext == "gds" || ext == "gdsii") return LayoutFormat::gds;
+  if (ext == "oas" || ext == "oasis") return LayoutFormat::oas;
+  throw DataError("unsupported layout extension: " + path);
+}
+
+/// The merged-by-name cell directory built by the skim pass. GDSII permits
+/// duplicate STRNAME structures and read_gds merges them; the streaming
+/// walk reproduces that by treating every file cell with the same name as
+/// one logical cell (shapes emitted piece by piece in file order, reference
+/// lists concatenated in file order — exactly the merged-cell order).
+struct DirEntry {
+  std::string name;
+  std::vector<std::size_t> pieces;      ///< file-cell indices, file order
+  std::vector<StreamRef> refs;          ///< merged references, file order
+  std::vector<std::size_t> ref_child;   ///< directory index per reference
+  std::size_t shape_count = 0;          ///< over all pieces, all layers
+  bool referenced = false;
+};
+
+/// LRU cache of parsed file cells. Holding at most @p window cells is the
+/// whole point of the streaming path: everything else is O(cells) names and
+/// edges, never geometry.
+class CellCache {
+ public:
+  CellCache(LayoutStream& stream, std::size_t window, IngestStats& stats)
+      : stream_(stream), window_(window), stats_(stats) {}
+
+  const StreamCell& fetch(std::size_t file_index) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (it->first == file_index) {
+        lru_.splice(lru_.begin(), lru_, it);  // touch
+        return lru_.front().second;
+      }
+    }
+    // Evict before parsing so the bound holds at every instant — the new
+    // cell must never coexist with a full window.
+    if (lru_.size() >= window_) lru_.pop_back();
+    if (file_index < parsed_.size() && parsed_[file_index]) ++stats_.reloads;
+    if (file_index >= parsed_.size()) parsed_.resize(file_index + 1, false);
+    parsed_[file_index] = true;
+    ++stats_.cell_parses;
+    lru_.emplace_front(file_index, stream_.read_cell(file_index, true));
+    stats_.peak_resident = std::max(stats_.peak_resident, lru_.size());
+    return lru_.front().second;
+  }
+
+ private:
+  LayoutStream& stream_;
+  std::size_t window_;
+  IngestStats& stats_;
+  std::list<std::pair<std::size_t, StreamCell>> lru_;
+  std::vector<bool> parsed_;
+};
+
+}  // namespace
+
+IngestStats stream_layer(LayoutStream& stream, const IngestOptions& options,
+                         const std::function<void(const Polygon&)>& emit) {
+  expects(options.window >= 1, "stream_layer: window must be at least 1");
+
+  // Pass 1 — directory skim. Geometry operands are decoded and validated
+  // but not stored; what survives is the cell table, byte offsets (inside
+  // the stream), and the reference graph.
+  stream.rewind();
+  std::vector<StreamCell> skims;
+  {
+    StreamCell c;
+    while (stream.next(c, false)) skims.push_back(std::move(c));
+  }
+
+  // Resolve refnum-addressed cells and references (OASIS name tables may
+  // follow the cells that use them; after the pass the table is complete).
+  for (StreamCell& c : skims) {
+    if (c.name.empty()) c.name = stream.name_of(c.refnum);
+    for (StreamRef& r : c.refs) {
+      if (r.child.empty()) r.child = stream.name_of(r.child_refnum);
+    }
+  }
+
+  // Merge file cells into the by-name directory.
+  std::vector<DirEntry> dir;
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < skims.size(); ++i) {
+    const auto [it, fresh] = index_of.emplace(skims[i].name, dir.size());
+    if (fresh) {
+      dir.emplace_back();
+      dir.back().name = skims[i].name;
+    }
+    DirEntry& e = dir[it->second];
+    e.pieces.push_back(i);
+    e.shape_count += skims[i].shape_count;
+    for (StreamRef& r : skims[i].refs) e.refs.push_back(std::move(r));
+  }
+  for (DirEntry& e : dir) {
+    for (const StreamRef& r : e.refs) {
+      const auto it = index_of.find(r.child);
+      if (it == index_of.end())
+        throw DataError("layout stream: reference to undefined cell " + r.child);
+      e.ref_child.push_back(it->second);
+      dir[it->second].referenced = true;
+    }
+  }
+  if (dir.empty()) throw DataError("layout stream: file has no cells");
+
+  // Validate the hierarchy (cycles, depth) before any geometry is emitted,
+  // mirroring Library::validate + the each_instance depth guard.
+  constexpr int kMaxDepth = 64;
+  {
+    std::vector<int> color(dir.size(), 0);  // 0 new, 1 on stack, 2 done
+    std::function<void(std::size_t, int)> dfs = [&](std::size_t i, int depth) {
+      if (depth > kMaxDepth)
+        throw DataError("layout stream: hierarchy deeper than " +
+                        std::to_string(kMaxDepth) + " under cell " + dir[i].name);
+      color[i] = 1;
+      for (const std::size_t child : dir[i].ref_child) {
+        if (color[child] == 1)
+          throw DataError("layout stream: reference cycle through cell " +
+                          dir[child].name);
+        if (color[child] != 2) dfs(child, depth + 1);
+      }
+      color[i] = 2;
+    };
+    for (std::size_t i = 0; i < dir.size(); ++i) {
+      if (color[i] == 0) dfs(i, 0);
+    }
+  }
+
+  // Pick the top cell.
+  std::size_t top = 0;
+  if (!options.top.empty()) {
+    const auto it = index_of.find(options.top);
+    if (it == index_of.end())
+      throw DataError("layout stream: top cell not found: " + options.top);
+    top = it->second;
+  } else {
+    std::size_t found = 0;
+    for (std::size_t i = 0; i < dir.size(); ++i) {
+      if (!dir[i].referenced) {
+        top = i;
+        ++found;
+      }
+    }
+    if (found == 0)
+      throw DataError("layout stream: no unreferenced cell to use as top");
+    if (found > 1)
+      throw DataError("layout stream: several unreferenced cells; pass an "
+                      "explicit top");
+  }
+
+  // Pass 2 — depth-first flatten through the bounded cell window. The
+  // visit order is exactly Library::each_instance: a cell's own shapes
+  // first (pieces in file order), then its references in order, arrays
+  // rows-outer / cols-inner, child transform composed as t * placed.
+  IngestStats stats;
+  stats.cells = skims.size();
+  CellCache cache(stream, options.window, stats);
+  std::function<void(std::size_t, const CTrans&, int)> walk =
+      [&](std::size_t i, const CTrans& t, int depth) {
+        if (depth > kMaxDepth)
+          throw DataError("layout stream: hierarchy deeper than " +
+                          std::to_string(kMaxDepth) + " under cell " + dir[i].name);
+        ++stats.placements;
+        const DirEntry& e = dir[i];
+        if (e.shape_count > 0) {
+          for (const std::size_t fi : e.pieces) {
+            if (skims[fi].shape_count == 0) continue;  // nothing to parse
+            const StreamCell& cell = cache.fetch(fi);
+            for (const Polygon& p : cell.shapes_on(options.layer)) {
+              ++stats.polygons;
+              emit(p.transformed(t));
+            }
+          }
+        }
+        for (std::size_t r = 0; r < e.refs.size(); ++r) {
+          const StreamRef& ref = e.refs[r];
+          for (std::uint32_t row = 0; row < ref.rows; ++row) {
+            for (std::uint32_t col = 0; col < ref.cols; ++col) {
+              const Point shift{static_cast<Coord>(Coord64(ref.col_step.x) * col +
+                                                   Coord64(ref.row_step.x) * row),
+                                static_cast<Coord>(Coord64(ref.col_step.y) * col +
+                                                   Coord64(ref.row_step.y) * row)};
+              const CTrans placed{ref.trans.disp() + shift, ref.trans.angle(),
+                                  ref.trans.mag(), ref.trans.mirror()};
+              walk(e.ref_child[r], t * placed, depth + 1);
+            }
+          }
+        }
+      };
+  walk(top, CTrans{}, 0);
+  return stats;
+}
+
+StreamFractureResult stream_fracture(LayoutStream& stream,
+                                     const IngestOptions& options,
+                                     const FractureOptions& fracture_options,
+                                     PolygonSet* collect) {
+  // Mirror fracture(PolygonSet): same rectilinearity contract, same engine,
+  // same add order — so the trapezoids (and therefore the shots) come out
+  // bitwise-identical to the in-RAM path.
+  BooleanEngine eng;
+  const bool want_rect = fracture_options.strategy == FractureStrategy::rectangles;
+  const IngestStats ingest =
+      stream_layer(stream, options, [&](const Polygon& p) {
+        if (want_rect) {
+          if (!p.outer().is_rectilinear())
+            throw DataError("fracture: rectangles strategy requires rectilinear input");
+          for (const auto& h : p.holes()) {
+            if (!h.is_rectilinear())
+              throw DataError("fracture: rectangles strategy requires rectilinear input");
+          }
+        }
+        eng.add(p, 0);
+        if (collect) collect->insert(p);
+      });
+  const bool merge = fracture_options.strategy != FractureStrategy::bands;
+  StreamFractureResult out;
+  out.fracture = fracture(eng.trapezoids(BoolOp::Or, merge), fracture_options);
+  out.ingest = ingest;
+  return out;
+}
+
+std::unique_ptr<LayoutStream> open_layout_stream(const std::string& path) {
+  switch (format_of(path)) {
+    case LayoutFormat::gds:
+      return open_gds_stream(path);
+    case LayoutFormat::oas:
+      return open_oas_stream(path);
+  }
+  throw DataError("unsupported layout extension: " + path);  // unreachable
+}
+
+Library read_layout(const std::string& path) {
+  switch (format_of(path)) {
+    case LayoutFormat::gds:
+      return read_gds(path);
+    case LayoutFormat::oas:
+      return read_oas(path);
+  }
+  throw DataError("unsupported layout extension: " + path);  // unreachable
+}
+
+void write_layout(const Library& lib, const std::string& path) {
+  switch (format_of(path)) {
+    case LayoutFormat::gds:
+      write_gds(lib, path);
+      return;
+    case LayoutFormat::oas:
+      write_oas(lib, path);
+      return;
+  }
+}
+
+}  // namespace ebl

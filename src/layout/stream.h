@@ -1,0 +1,172 @@
+// Streaming layout ingestion: cell-at-a-time parsing with a bounded
+// resident-cell window.
+//
+// The classic path (read_gds / read_oas) materializes a whole Library before
+// anything downstream runs — untenable for multi-GB reticle files. The
+// LayoutStream API parses one cell at a time from a seekable byte source;
+// the ingestor below drives it in two passes:
+//
+//   1. Directory pass: every cell is skimmed (geometry decoded but not
+//      stored) to learn the cell table, the reference graph, and each
+//      cell's byte offset. Memory: O(cells) names + edges, no geometry.
+//   2. Flatten pass: a depth-first walk over the instance tree — the exact
+//      order of Library::each_instance — re-parses cells on demand through
+//      an LRU cache holding at most `window` parsed cells. Each visited
+//      instance emits its transformed polygons immediately, so geometry
+//      flows straight into fracture (or any consumer) without a flat
+//      in-RAM shot list ever existing.
+//
+// Peak resident parsed-cell count is bounded by the window (asserted in
+// tests/layout_stream_test.cpp); emitted polygon order is identical to
+// Library::flatten, which makes streamed fracture bitwise-identical to the
+// in-RAM path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fracture/fracture.h"
+#include "layout/cell.h"
+#include "layout/library.h"
+
+namespace ebl {
+
+/// Reference-number sentinel: "this cell/ref is addressed by name".
+inline constexpr std::uint64_t kNoRefnum = ~std::uint64_t{0};
+
+/// A placement parsed from the stream. The child is addressed by name when
+/// the format carries one inline; OASIS CELLNAME reference numbers resolve
+/// through LayoutStream::name_of once the directory pass reaches the END
+/// record (the name table may follow the cells that use it).
+struct StreamRef {
+  std::string child;                    ///< empty while only refnum is known
+  std::uint64_t child_refnum = kNoRefnum;
+  CTrans trans;
+  std::uint32_t cols = 1;
+  std::uint32_t rows = 1;
+  Point col_step{0, 0};
+  Point row_step{0, 0};
+
+  bool is_array() const { return cols > 1 || rows > 1; }
+};
+
+/// One parsed cell. In skim mode (next(..., with_geometry=false)) shapes
+/// stays empty but shape_count still reports how many polygons the cell
+/// carries; refs are always populated.
+struct StreamCell {
+  std::string name;                     ///< empty while only refnum is known
+  std::uint64_t refnum = kNoRefnum;
+  std::map<LayerKey, std::vector<Polygon>> shapes;
+  std::vector<StreamRef> refs;
+  std::size_t shape_count = 0;
+
+  const std::vector<Polygon>& shapes_on(LayerKey layer) const;
+};
+
+/// Forward cell reader with random re-read access over a seekable stream.
+/// Implemented by the GDSII and OASIS parsers (layout/gdsii.cpp,
+/// layout/oasis.cpp); both throw DataError with byte offsets on malformed
+/// input.
+class LayoutStream {
+ public:
+  virtual ~LayoutStream() = default;
+
+  virtual const std::string& library_name() const = 0;
+  virtual double dbu_in_microns() const = 0;
+
+  /// Parses the next cell in file order; returns false once the end-of-
+  /// layout record has been consumed. @p with_geometry = false skims:
+  /// geometry operands are decoded (and validated) but not stored.
+  virtual bool next(StreamCell& out, bool with_geometry = true) = 0;
+
+  /// Restarts next() iteration from the first cell.
+  virtual void rewind() = 0;
+
+  /// Cells encountered so far (file order indices 0..cells_seen()-1).
+  virtual std::size_t cells_seen() const = 0;
+
+  /// Re-parses cell @p index (must have been seen). Seeks; does not disturb
+  /// the next() position of a *finished* pass, but interleaving read_cell
+  /// with an unfinished next() pass is a contract violation.
+  virtual StreamCell read_cell(std::size_t index, bool with_geometry = true) = 0;
+
+  /// Resolves an OASIS cellname reference number. Valid once a full pass
+  /// has consumed the END record. GDSII streams never produce refnums.
+  virtual std::string name_of(std::uint64_t refnum) const;
+};
+
+/// Opens @p path as a layout stream by extension: .gds/.gdsii -> GDSII,
+/// .oas/.oasis -> OASIS (case-insensitive). Throws DataError for anything
+/// else ("unsupported layout extension").
+std::unique_ptr<LayoutStream> open_layout_stream(const std::string& path);
+
+/// Format-specific factories (implemented in layout/gdsii.cpp and
+/// layout/oasis.cpp). The unique_ptr<istream> overloads take ownership of an
+/// arbitrary seekable stream — handy for in-memory stringstream tests.
+std::unique_ptr<LayoutStream> open_gds_stream(const std::string& path);
+std::unique_ptr<LayoutStream> open_gds_stream(std::unique_ptr<std::istream> is);
+std::unique_ptr<LayoutStream> open_oas_stream(const std::string& path);
+std::unique_ptr<LayoutStream> open_oas_stream(std::unique_ptr<std::istream> is);
+
+/// Reads a whole library through the streaming parser (extension dispatch
+/// as open_layout_stream). Equivalent to read_gds / read_oas.
+Library read_layout(const std::string& path);
+
+/// Writes @p lib by extension (write_gds / write_oas).
+void write_layout(const Library& lib, const std::string& path);
+
+/// Streaming-ingestion knobs.
+struct IngestOptions {
+  /// Top cell name; empty auto-detects the unique unreferenced cell (throws
+  /// DataError when the file has none or several).
+  std::string top;
+
+  /// Layer to flatten.
+  LayerKey layer;
+
+  /// Maximum simultaneously resident parsed cells during the flatten pass
+  /// (the read-ahead window). Cells evicted from the window are re-parsed
+  /// from their byte offset when revisited.
+  std::size_t window = 16;
+};
+
+/// Streaming-ingestion counters (PrepResult::ingest surfaces these).
+struct IngestStats {
+  std::size_t cells = 0;          ///< cells in the file
+  std::size_t placements = 0;     ///< expanded instances visited (incl. top)
+  std::size_t polygons = 0;       ///< polygons emitted on the target layer
+  std::size_t peak_resident = 0;  ///< max parsed cells held at once (<= window)
+  std::size_t cell_parses = 0;    ///< geometry parse events in the flatten pass
+  std::size_t reloads = 0;        ///< parses beyond the first per cell (evictions paid)
+};
+
+/// Flattens one layer of the streamed layout depth-first, emitting every
+/// polygon transformed to top coordinates — the streaming counterpart of
+/// Library::flatten with identical emission order. The directory pass
+/// validates the hierarchy (undefined references, cycles, depth) before any
+/// geometry is emitted.
+IngestStats stream_layer(LayoutStream& stream, const IngestOptions& options,
+                         const std::function<void(const Polygon&)>& emit);
+
+struct StreamFractureResult {
+  FractureResult fracture;
+  IngestStats ingest;
+};
+
+/// Streams one layer directly into the boolean/fracture engine: polygons are
+/// added to the scanline merge as they are emitted and never stored as a
+/// PolygonSet. The resulting shots are bitwise-identical to
+/// fracture(lib.flatten(top, layer), options) on the same file.
+/// @p collect, when non-null, additionally accumulates the flattened
+/// geometry (used by the pipeline's EPE stage, which needs the target).
+StreamFractureResult stream_fracture(LayoutStream& stream,
+                                     const IngestOptions& options,
+                                     const FractureOptions& fracture_options,
+                                     PolygonSet* collect = nullptr);
+
+}  // namespace ebl

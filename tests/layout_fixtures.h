@@ -1,0 +1,90 @@
+// Shared layout fixtures for the format and streaming tests.
+#pragma once
+
+#include "layout/library.h"
+
+namespace ebl {
+namespace test_fixtures {
+
+/// The canonical two-cell hierarchy used across layout_gdsii_test,
+/// layout_oasis_test and layout_stream_test: a LEAF with a rectangle, a
+/// triangle, and a holed polygon on three layers, placed under TOP once
+/// with a mirrored 90° transform and once as a 3x2 array. Every value is
+/// exactly representable in both GDSII excess-64 reals and OASIS operands,
+/// so cross-format equality tests can demand exactness.
+inline Library sample_library() {
+  Library lib("SAMPLE");
+  const CellId leaf = lib.add_cell("LEAF");
+  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{0, 0, 100, 50});
+  lib.cell(leaf).add_shape(LayerKey{1, 5}, SimplePolygon{{{0, 0}, {40, 0}, {0, 30}}});
+  lib.cell(leaf).add_shape(
+      LayerKey{2, 0},
+      Polygon{SimplePolygon::rect(0, 0, 60, 60), {SimplePolygon::rect(20, 20, 40, 40)}});
+
+  const CellId top = lib.add_cell("TOP");
+  Reference sref;
+  sref.child = leaf;
+  sref.trans = CTrans{Point{1000, -500}, 90.0, 1.0, true};
+  lib.cell(top).add_reference(sref);
+
+  Reference aref;
+  aref.child = leaf;
+  aref.cols = 3;
+  aref.rows = 2;
+  aref.col_step = {200, 0};
+  aref.row_step = {0, 300};
+  aref.trans = CTrans{Point{-400, 800}, 0.0, 1.0, false};
+  lib.cell(top).add_reference(aref);
+  return lib;
+}
+
+/// A deeper hierarchy for window/eviction tests: LEAF geometry wrapped in
+/// two intermediate cells that both re-reference LEAF, so a small window
+/// must evict and reload cells during the flatten walk.
+inline Library deep_library() {
+  Library lib("DEEP");
+  const LayerKey metal{1, 0};
+  const CellId leaf_a = lib.add_cell("LEAF_A");
+  lib.cell(leaf_a).add_shape(metal, Box{0, 0, 80, 40});
+  const CellId leaf_b = lib.add_cell("LEAF_B");
+  lib.cell(leaf_b).add_shape(metal, SimplePolygon{{{0, 0}, {50, 0}, {0, 50}}});
+
+  const CellId mid_a = lib.add_cell("MID_A");
+  {
+    Reference r;
+    r.child = leaf_a;
+    lib.cell(mid_a).add_reference(r);
+    r.child = leaf_b;
+    r.trans = CTrans{Point{200, 0}, 0.0, 1.0, false};
+    lib.cell(mid_a).add_reference(r);
+  }
+  const CellId mid_b = lib.add_cell("MID_B");
+  {
+    Reference r;
+    r.child = leaf_b;
+    lib.cell(mid_b).add_reference(r);
+    r.child = leaf_a;
+    r.trans = CTrans{Point{0, 200}, 90.0, 1.0, false};
+    lib.cell(mid_b).add_reference(r);
+  }
+  const CellId top = lib.add_cell("TOP");
+  {
+    Reference r;
+    r.child = mid_a;
+    lib.cell(top).add_reference(r);
+    r.child = mid_b;
+    r.trans = CTrans{Point{1000, 0}, 0.0, 1.0, false};
+    lib.cell(top).add_reference(r);
+    r.child = mid_a;
+    r.cols = 2;
+    r.rows = 2;
+    r.col_step = {500, 0};
+    r.row_step = {0, 500};
+    r.trans = CTrans{Point{0, 2000}, 0.0, 1.0, false};
+    lib.cell(top).add_reference(r);
+  }
+  return lib;
+}
+
+}  // namespace test_fixtures
+}  // namespace ebl

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "layout/gdsii.h"
+#include "layout_fixtures.h"
 #include "util/contracts.h"
 
 namespace ebl {
@@ -30,31 +31,7 @@ TEST(GdsReal, NegativeSetsSignBit) {
   EXPECT_DOUBLE_EQ(from_gds_real(to_gds_real(-2.0)), -2.0);
 }
 
-Library sample_library() {
-  Library lib("SAMPLE");
-  const CellId leaf = lib.add_cell("LEAF");
-  lib.cell(leaf).add_shape(LayerKey{1, 0}, Box{0, 0, 100, 50});
-  lib.cell(leaf).add_shape(LayerKey{1, 5}, SimplePolygon{{{0, 0}, {40, 0}, {0, 30}}});
-  lib.cell(leaf).add_shape(
-      LayerKey{2, 0},
-      Polygon{SimplePolygon::rect(0, 0, 60, 60), {SimplePolygon::rect(20, 20, 40, 40)}});
-
-  const CellId top = lib.add_cell("TOP");
-  Reference sref;
-  sref.child = leaf;
-  sref.trans = CTrans{Point{1000, -500}, 90.0, 1.0, true};
-  lib.cell(top).add_reference(sref);
-
-  Reference aref;
-  aref.child = leaf;
-  aref.cols = 3;
-  aref.rows = 2;
-  aref.col_step = {200, 0};
-  aref.row_step = {0, 300};
-  aref.trans = CTrans{Point{-400, 800}, 0.0, 1.0, false};
-  lib.cell(top).add_reference(aref);
-  return lib;
-}
+using test_fixtures::sample_library;
 
 TEST(Gdsii, RoundTripPreservesStructure) {
   const Library lib = sample_library();
